@@ -1,0 +1,49 @@
+//! Ablation — Set Dueling epoch length.
+//!
+//! The paper evaluated several epoch sizes and settled on 2 M cycles
+//! (§IV-C). This sweep scans the epoch length (at the simulation scale in
+//! force) and reports hits and NVM bytes, exposing the trade-off between
+//! reactivity (short epochs) and sampler statistics (long epochs).
+
+use hllc_bench::exp::ExpOpts;
+use hllc_bench::report::{banner, save_json, Table};
+use hllc_core::Policy;
+use hllc_forecast::run_phase;
+
+fn main() {
+    let opts = ExpOpts::from_env();
+    banner(
+        "ablation_epoch",
+        "Set Dueling epoch-length sweep (CP_SD)",
+        "Paper §IV-C: 2M cycles chosen at full scale; the scaled system \
+         uses proportionally shorter epochs.",
+    );
+    let mut table = Table::new(["epoch [cycles]", "hit rate", "NVM bytes", "epochs seen"]);
+    let mut json_rows = Vec::new();
+    for epoch in [25_000u64, 50_000, 100_000, 200_000, 400_000, 800_000] {
+        let mut hits = 0.0;
+        let mut reqs = 0.0;
+        let mut bytes = 0u64;
+        let mut epochs = 0usize;
+        for (i, mix) in opts.mix_list().iter().enumerate() {
+            let mut setup = opts.phase_setup(Policy::cp_sd());
+            setup.llc = setup.llc.with_epoch_cycles(epoch);
+            let (m, _) = run_phase(&setup, mix, None, opts.seed + i as u64);
+            hits += m.llc.hits as f64;
+            reqs += m.llc.requests() as f64;
+            bytes += m.llc.nvm_bytes_written;
+            epochs += m.epochs.len();
+        }
+        table.row([
+            format!("{epoch}"),
+            format!("{:.3}", hits / reqs),
+            format!("{bytes}"),
+            format!("{epochs}"),
+        ]);
+        json_rows.push(serde_json::json!({
+            "epoch_cycles": epoch, "hit_rate": hits / reqs, "nvm_bytes": bytes,
+        }));
+    }
+    table.print();
+    save_json("ablation_epoch", &serde_json::json!({ "experiment": "ablation_epoch", "rows": json_rows }));
+}

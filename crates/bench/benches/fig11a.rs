@@ -1,0 +1,27 @@
+//! Figure 11a — L2 size sensitivity: 128 KB → 256 KB.
+//!
+//! A bigger private L2 filters LLC write traffic: the paper reports 8–19 %
+//! lifetime gains for every policy except LHybrid, whose lifetime *drops*
+//! 11 % because longer SRAM residence detects more loop-blocks.
+
+use hllc_bench::exp::{headline_policies, run_forecast_experiment, ExpOpts};
+use hllc_bench::report::banner;
+
+fn main() {
+    let opts = ExpOpts::from_env();
+    banner(
+        "fig11a",
+        "Private L2 doubled",
+        "Paper Fig. 11a: lifetime +8..19% for BH/BH_CP/CP_SD family, -11% \
+         for LHybrid (more loop-blocks detected -> more NVM writes).",
+    );
+    let configs: Vec<_> = headline_policies()
+        .into_iter()
+        .map(|(label, p)| {
+            let mut cfg = opts.forecast_config(p);
+            cfg.system = cfg.system.with_l2_doubled();
+            (label, cfg)
+        })
+        .collect();
+    run_forecast_experiment("fig11a", &configs, &opts, true);
+}

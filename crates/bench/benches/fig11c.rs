@@ -1,0 +1,36 @@
+//! Figure 11c — Equalizing storage cost: the byte-level fault map costs
+//! 12.3 % of the NVM data array, so CP_SD is re-evaluated with 11 and 10
+//! NVM ways (+1.8 % / −5.2 % total storage vs LHybrid's 12-way
+//! frame-disabling design).
+//!
+//! The paper's claim: even with 10 NVM ways, CP_SD_Th8 beats LHybrid's
+//! initial IPC by 6.4 % and keeps a higher IPC over the cache's whole life.
+
+use hllc_bench::exp::{run_forecast_experiment, ExpOpts};
+use hllc_bench::report::banner;
+use hllc_core::Policy;
+
+fn main() {
+    let opts = ExpOpts::from_env();
+    banner(
+        "fig11c",
+        "Equal-storage comparison: CP_SD family with 12/11/10 NVM ways vs LHybrid",
+        "Paper Fig. 11c: all CP_SD configurations keep significantly higher \
+         normalized IPC than LHybrid at matched (or lower) storage cost.",
+    );
+    let mut configs = Vec::new();
+    configs.push(("LHybrid (12w NVM)".to_string(), opts.forecast_config(Policy::LHybrid)));
+    for (name, policy) in [
+        ("CP_SD", Policy::cp_sd()),
+        ("CP_SD_Th4", Policy::cp_sd_th(4.0)),
+        ("CP_SD_Th8", Policy::cp_sd_th(8.0)),
+    ] {
+        for nvm_ways in [12usize, 11, 10] {
+            let mut cfg = opts.forecast_config(policy);
+            cfg.system = cfg.system.with_way_split(4, nvm_ways);
+            cfg.llc.nvm_ways = nvm_ways;
+            configs.push((format!("{name} ({nvm_ways}w NVM)"), cfg));
+        }
+    }
+    run_forecast_experiment("fig11c", &configs, &opts, false);
+}

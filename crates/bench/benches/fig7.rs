@@ -1,0 +1,48 @@
+//! Figure 7 — Bytes written to the NVM part (normalized to BH) vs. CP_th,
+//! for CA, CA_RWR, and the CP_SD line.
+//!
+//! The paper: CA writes 5–80 % of BH's bytes depending on CP_th (40 % less
+//! than BH at CP_th = 58); CA_RWR cuts up to 73 % more; CP_SD reaches
+//! 16.6 % of BH — 22.9 % and 42 % below CA_RWR at CP_th 58 and 64.
+
+use hllc_bench::exp::{measure_avg, ExpOpts};
+use hllc_bench::report::{banner, save_json, Table};
+use hllc_core::{Policy, CP_TH_CANDIDATES};
+
+fn main() {
+    let opts = ExpOpts::from_env();
+    banner(
+        "fig7",
+        "Normalized NVM bytes written vs CP_th (full NVM capacity)",
+        "Paper Fig. 7: CA between 0.05 and 0.80 of BH; CA_RWR up to 73% \
+         below CA; CP_SD at 0.166 of BH.",
+    );
+    let (_, bh_bytes, _) = measure_avg(Policy::Bh, 1.0, &opts);
+
+    let mut table = Table::new(["CP_th", "CA", "CA_RWR"]);
+    let mut json_rows = Vec::new();
+    for cp_th in CP_TH_CANDIDATES {
+        let (_, ca, _) = measure_avg(Policy::Ca { cp_th }, 1.0, &opts);
+        let (_, rwr, _) = measure_avg(Policy::CaRwr { cp_th }, 1.0, &opts);
+        table.row([
+            format!("{cp_th}"),
+            format!("{:.3}", ca / bh_bytes),
+            format!("{:.3}", rwr / bh_bytes),
+        ]);
+        json_rows.push(serde_json::json!({
+            "cp_th": cp_th, "ca": ca / bh_bytes, "ca_rwr": rwr / bh_bytes,
+        }));
+    }
+    table.print();
+
+    let (_, sd, _) = measure_avg(Policy::cp_sd(), 1.0, &opts);
+    println!("\nCP_SD (Set Dueling) line: {:.3} of BH bytes", sd / bh_bytes);
+    println!("Paper: CP_SD reduces NVM bytes written by 83.4% vs BH.");
+    save_json(
+        "fig7",
+        &serde_json::json!({
+            "experiment": "fig7", "rows": json_rows, "cp_sd": sd / bh_bytes,
+            "mixes": opts.mixes,
+        }),
+    );
+}

@@ -1,0 +1,70 @@
+//! Figure 8a — Distribution of the per-epoch optimal CP_th as the NVM part
+//! loses capacity (100 % → 50 %).
+//!
+//! Runs CP_SD's sampler sets over pre-degraded NVM arrays and, for every
+//! Set Dueling epoch, records which CP_th candidate collected the most
+//! hits. The paper: at 100 % capacity ~30 % of epochs prefer CP_th < 58,
+//! and smaller thresholds win more often as capacity shrinks (large frames
+//! become scarce).
+
+use hllc_bench::exp::{measure_mix, ExpOpts};
+use hllc_bench::report::{banner, save_json, Table};
+use hllc_core::{Policy, CP_TH_CANDIDATES};
+
+fn main() {
+    let opts = ExpOpts::from_env();
+    banner(
+        "fig8a",
+        "Optimal CP_th distribution vs NVM capacity",
+        "Paper Fig. 8a: the mass shifts from CP_th 58/64 toward smaller \
+         values as effective capacity drops from 100% to 50%.",
+    );
+    let mut table = Table::new([
+        "capacity",
+        "CPth=30",
+        "37",
+        "44",
+        "51",
+        "58",
+        "64",
+        "epochs",
+    ]);
+    let mut json_rows = Vec::new();
+    for capacity in [1.0, 0.9, 0.8, 0.7, 0.6, 0.5] {
+        let mut wins = [0usize; CP_TH_CANDIDATES.len()];
+        let mut epochs = 0usize;
+        for (i, mix) in opts.mix_list().iter().enumerate() {
+            let m = measure_mix(Policy::cp_sd(), capacity, mix, opts.seed + i as u64, &opts);
+            for e in &m.epochs {
+                if let Some(k) = e.max_hits_candidate() {
+                    wins[k] += 1;
+                    epochs += 1;
+                }
+            }
+        }
+        let pct = |k: usize| {
+            if epochs == 0 {
+                0.0
+            } else {
+                100.0 * wins[k] as f64 / epochs as f64
+            }
+        };
+        table.row([
+            format!("{:3.0}%", capacity * 100.0),
+            format!("{:4.1}", pct(0)),
+            format!("{:4.1}", pct(1)),
+            format!("{:4.1}", pct(2)),
+            format!("{:4.1}", pct(3)),
+            format!("{:4.1}", pct(4)),
+            format!("{:4.1}", pct(5)),
+            format!("{epochs}"),
+        ]);
+        json_rows.push(serde_json::json!({
+            "capacity": capacity,
+            "wins_pct": (0..6).map(pct).collect::<Vec<_>>(),
+            "epochs": epochs,
+        }));
+    }
+    table.print();
+    save_json("fig8a", &serde_json::json!({ "experiment": "fig8a", "rows": json_rows }));
+}

@@ -1,0 +1,103 @@
+//! Criterion microbenchmarks of the hardware-modelled components: BDI
+//! compression/decompression, SECDED encode/decode/correct, the block
+//! rearrangement circuitry, and raw hybrid-LLC operations.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hllc_compress::{Block, Compressor};
+use hllc_core::{HybridConfig, HybridLlc, Policy};
+use hllc_ecc::{BitVec, FrameCodec};
+use hllc_nvm::{rearrange, FaultMap};
+use hllc_sim::{ConstSizeData, LlcPort, LlcReq, ReuseClass};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn sample_blocks() -> Vec<Block> {
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut blocks = vec![Block::zeroed(), Block::from_u64_lanes([42; 8])];
+    // Clustered (B8Δ-compressible) and incompressible payloads.
+    for _ in 0..14 {
+        let base: u64 = rng.gen();
+        let lanes: [u64; 8] = core::array::from_fn(|_| base.wrapping_add(rng.gen_range(0..1000)));
+        blocks.push(Block::from_u64_lanes(lanes));
+        let mut raw = [0u8; 64];
+        rng.fill(&mut raw[..]);
+        blocks.push(Block::new(raw));
+    }
+    blocks
+}
+
+fn bench_bdi(c: &mut Criterion) {
+    let compressor = Compressor::new();
+    let blocks = sample_blocks();
+    c.bench_function("bdi/compress_64B", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % blocks.len();
+            std::hint::black_box(compressor.compress(&blocks[i]))
+        })
+    });
+    let compressed: Vec<_> = blocks.iter().map(|b| compressor.compress(b)).collect();
+    c.bench_function("bdi/decompress_64B", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % compressed.len();
+            std::hint::black_box(compressed[i].decompress())
+        })
+    });
+    c.bench_function("bdi/size_only", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % blocks.len();
+            std::hint::black_box(compressor.compressed_size(&blocks[i]))
+        })
+    });
+}
+
+fn bench_secded(c: &mut Criterion) {
+    let codec = FrameCodec::new();
+    let data = [0xA5u8; 64];
+    c.bench_function("secded/encode_527_516", |b| {
+        b.iter(|| std::hint::black_box(codec.encode(0x3, &data)))
+    });
+    let word = codec.encode(0x3, &data);
+    c.bench_function("secded/decode_clean", |b| {
+        b.iter(|| std::hint::black_box(codec.decode(&word)))
+    });
+    let mut corrupted: BitVec = word.clone();
+    corrupted.flip(123);
+    c.bench_function("secded/decode_correct_one", |b| {
+        b.iter(|| std::hint::black_box(codec.decode(&corrupted)))
+    });
+}
+
+fn bench_rearrange(c: &mut Criterion) {
+    let fm = FaultMap::from_faulty([3, 17, 40, 61]);
+    let ecb: Vec<u8> = (0..59).map(|i| i as u8).collect();
+    c.bench_function("rearrange/scatter_59B", |b| {
+        b.iter(|| std::hint::black_box(rearrange::scatter(&ecb, &fm, 11)))
+    });
+    let (recb, _) = rearrange::scatter(&ecb, &fm, 11);
+    c.bench_function("rearrange/gather_59B", |b| {
+        b.iter(|| std::hint::black_box(rearrange::gather(&recb, &fm, 11, ecb.len())))
+    });
+}
+
+fn bench_llc(c: &mut Criterion) {
+    let cfg = HybridConfig::new(1024, 4, 12, Policy::cp_sd());
+    c.bench_function("llc/insert_request_cycle", |b| {
+        b.iter_batched(
+            || (HybridLlc::new(&cfg), ConstSizeData::new(22)),
+            |(mut llc, mut data)| {
+                for blk in 0..4096u64 {
+                    llc.insert(blk, blk, false, ReuseClass::None, &mut data);
+                    let _ = llc.request(blk, blk ^ 0x55, LlcReq::GetS);
+                }
+                llc
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_bdi, bench_secded, bench_rearrange, bench_llc);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Table I — The modified BDI compression-encoding table.
+//!
+//! Prints every compression encoding with its base/delta widths, compressed
+//! size, HCR/LCR class, and the ECB size including the 4-bit CE and 11-bit
+//! SECDED overhead. LCR encodings (the star rows of the paper's Table I)
+//! are the ones the original BDI discards but this design keeps.
+
+use hllc_bench::report::{banner, save_json, Table};
+use hllc_compress::Encoding;
+
+fn main() {
+    banner(
+        "table1",
+        "Modified BDI compression encodings",
+        "Paper Table I; LCR encodings (size > 37 B) marked with *.",
+    );
+    let mut table = Table::new(["CE", "encoding", "base", "delta", "CB size", "ECB size", "class"]);
+    let mut json_rows = Vec::new();
+    for e in Encoding::ALL {
+        let class = if e.is_lcr() {
+            "LCR *"
+        } else if e.is_hcr() {
+            "HCR"
+        } else {
+            "-"
+        };
+        table.row([
+            format!("{}", e.ce()),
+            e.to_string(),
+            e.base_width().map_or("-".into(), |b| b.to_string()),
+            e.delta_width().map_or("-".into(), |d| d.to_string()),
+            format!("{}", e.compressed_size()),
+            format!("{}", e.compressed_size() + 2),
+            class.to_string(),
+        ]);
+        json_rows.push(serde_json::json!({
+            "ce": e.ce(), "name": e.to_string(),
+            "cb_size": e.compressed_size(), "hcr": e.is_hcr(), "lcr": e.is_lcr(),
+        }));
+    }
+    table.print();
+    println!("\nECB = CB + 4-bit CE + 11-bit SECDED (2 bytes); frame = 66 physical bytes.");
+    save_json("table1", &serde_json::json!({ "experiment": "table1", "rows": json_rows }));
+}

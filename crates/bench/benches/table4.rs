@@ -1,0 +1,54 @@
+//! Table IV — System specification in force for the experiments.
+
+use hllc_bench::exp::{system_for, ExpOpts};
+use hllc_bench::report::{banner, save_json, Table};
+
+fn main() {
+    let opts = ExpOpts::from_env();
+    let cfg = system_for(&opts);
+    banner(
+        "table4",
+        "System specification",
+        "Paper Table IV (scaled-down proportions unless HLLC_FULL=1).",
+    );
+    let t = &cfg.timing;
+    let mut table = Table::new(["parameter", "value"]);
+    table.row(["cores", &format!("{} out-of-order @ {} GHz", cfg.cores, t.freq_ghz)]);
+    table.row([
+        "L1D",
+        &format!("{} KB, {}-way, 64 B blocks", cfg.l1_sets * cfg.l1_ways * 64 / 1024, cfg.l1_ways),
+    ]);
+    table.row([
+        "L2 (private)",
+        &format!("{} KB, {}-way, load-use {} cyc", cfg.l2_sets * cfg.l2_ways * 64 / 1024, cfg.l2_ways, t.l2_hit),
+    ]);
+    table.row([
+        "LLC (shared)",
+        &format!(
+            "{} KB, {} sets x ({} SRAM + {} NVM) ways",
+            cfg.llc.capacity_bytes() / 1024,
+            cfg.llc.sets,
+            cfg.llc.sram_ways,
+            cfg.llc.nvm_ways
+        ),
+    ]);
+    table.row(["LLC SRAM load-use", &format!("{} cycles", t.llc_sram_hit)]);
+    table.row([
+        "LLC NVM load-use",
+        &format!("{} cycles (+{} for decompression/rearrangement)", t.llc_nvm_hit, t.nvm_decompress),
+    ]);
+    table.row(["memory load-use", &format!("{} cycles", t.memory)]);
+    table.row(["endurance", "mean 1e10 writes, cv 0.2 (1e8 in scaled runs)"]);
+    table.print();
+    save_json(
+        "table4",
+        &serde_json::json!({
+            "experiment": "table4",
+            "cores": cfg.cores,
+            "llc_sets": cfg.llc.sets,
+            "sram_ways": cfg.llc.sram_ways,
+            "nvm_ways": cfg.llc.nvm_ways,
+            "llc_kb": cfg.llc.capacity_bytes() / 1024,
+        }),
+    );
+}

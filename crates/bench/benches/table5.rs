@@ -1,0 +1,42 @@
+//! Table V — The ten multi-programmed SPEC CPU 2006/2017 mixes, with the
+//! synthetic model parameters behind each application.
+
+use hllc_bench::report::{banner, save_json, Table};
+use hllc_trace::mixes;
+
+fn main() {
+    banner(
+        "table5",
+        "Multi-programmed workload mixes",
+        "Paper Table V; synthetic application models per DESIGN.md substitution #1.",
+    );
+    let mut table = Table::new(["mix", "core 0", "core 1", "core 2", "core 3"]);
+    let mut json_rows = Vec::new();
+    for m in mixes() {
+        table.row([
+            m.name.to_string(),
+            m.apps[0].name.to_string(),
+            m.apps[1].name.to_string(),
+            m.apps[2].name.to_string(),
+            m.apps[3].name.to_string(),
+        ]);
+        json_rows.push(serde_json::json!({
+            "mix": m.name,
+            "apps": m.apps.iter().map(|a| a.name).collect::<Vec<_>>(),
+        }));
+    }
+    table.print();
+
+    println!("\nApplication model parameters:");
+    let mut apps = Table::new(["application", "footprint MB", "store share", "mean gap"]);
+    for a in hllc_trace::spec_apps() {
+        apps.row([
+            a.name.to_string(),
+            format!("{:.1}", a.footprint_blocks as f64 * 64.0 / (1024.0 * 1024.0)),
+            format!("{:.2}", a.write_fraction * a.writable_fraction),
+            format!("{:.0}", a.mean_inst_gap),
+        ]);
+    }
+    apps.print();
+    save_json("table5", &serde_json::json!({ "experiment": "table5", "rows": json_rows }));
+}

@@ -1,0 +1,310 @@
+//! Common experiment plumbing: options, policy sets, forecast averaging,
+//! and single-phase measurement sweeps.
+
+use hllc_core::{HybridConfig, Policy};
+use hllc_forecast::{run_phase, Forecast, ForecastConfig, ForecastSeries, PhaseMetrics, PhaseSetup};
+use hllc_sim::SystemConfig;
+use hllc_trace::{mixes, Mix};
+
+/// Options read from the environment (see the crate docs).
+#[derive(Clone, Debug)]
+pub struct ExpOpts {
+    /// Number of Table V mixes to average over.
+    pub mixes: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Run at the paper's full scale instead of the scaled-down system.
+    pub full_scale: bool,
+}
+
+impl ExpOpts {
+    /// Reads `HLLC_MIXES` / `HLLC_SEED` / `HLLC_FULL` from the environment.
+    pub fn from_env() -> Self {
+        let get = |k: &str| std::env::var(k).ok();
+        ExpOpts {
+            mixes: get("HLLC_MIXES").and_then(|v| v.parse().ok()).unwrap_or(3).clamp(1, 10),
+            seed: get("HLLC_SEED").and_then(|v| v.parse().ok()).unwrap_or(42),
+            full_scale: get("HLLC_FULL").is_some_and(|v| v == "1"),
+        }
+    }
+
+    /// The mixes this experiment runs over.
+    pub fn mix_list(&self) -> Vec<Mix> {
+        mixes().into_iter().take(self.mixes).collect()
+    }
+
+    /// Base forecast configuration for a policy.
+    pub fn forecast_config(&self, policy: Policy) -> ForecastConfig {
+        if self.full_scale {
+            ForecastConfig::paper(policy)
+        } else {
+            ForecastConfig::scaled(policy)
+        }
+    }
+
+    /// Single-phase setup at the configured scale, with the NVM part
+    /// optionally pre-degraded (capacity in 0..=1).
+    pub fn phase_setup(&self, policy: Policy) -> PhaseSetup {
+        let cfg = self.forecast_config(policy);
+        PhaseSetup {
+            system: cfg.system.clone(),
+            llc: cfg.llc.clone(),
+            warmup_cycles: cfg.warmup_cycles,
+            measure_cycles: cfg.measure_cycles,
+            scale: PhaseSetup::scale_for_sets(cfg.llc.sets),
+            compressor: cfg.compressor,
+        }
+    }
+
+    /// Lifetime axis note for reports.
+    pub fn time_note(&self) -> &'static str {
+        if self.full_scale {
+            "wall-clock months at mu=1e10"
+        } else {
+            "scaled hours at mu=1e8 (multiply by 100 for paper-equivalent time; ratios are exact)"
+        }
+    }
+}
+
+/// The SRAM-only upper/lower performance bounds (dashed lines of Fig. 1/10).
+pub fn sram_bound_config(base: &ForecastConfig, ways: usize) -> ForecastConfig {
+    let mut cfg = base.clone();
+    cfg.llc = HybridConfig::new(cfg.llc.sets, ways, 0, Policy::Bh);
+    cfg
+}
+
+/// Runs the forecast for a policy configuration over the option's mixes and
+/// averages the runs onto a common grid.
+pub fn forecast_avg(cfg: &ForecastConfig, opts: &ExpOpts, label: &str) -> ForecastSeries {
+    let runs: Vec<ForecastSeries> = opts
+        .mix_list()
+        .iter()
+        .enumerate()
+        .map(|(i, mix)| Forecast::new(cfg.clone()).run(mix, opts.seed + i as u64))
+        .collect();
+    ForecastSeries::average(label, &runs, 48)
+}
+
+/// Builds the (optionally degraded) NVM array for a single-phase run:
+/// `None` at full capacity (the phase samples a fresh array itself).
+pub fn degraded_array(
+    llc_cfg: &HybridConfig,
+    capacity: f64,
+    seed: u64,
+) -> Option<hllc_nvm::NvmArray> {
+    use rand::SeedableRng;
+    if capacity >= 1.0 {
+        return None;
+    }
+    let mut llc = hllc_core::HybridLlc::new(llc_cfg);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x0DE6_AADE);
+    if let Some(a) = llc.array_mut() {
+        a.degrade_to(capacity, &mut rng);
+    }
+    llc.into_array()
+}
+
+/// One single-phase measurement (no aging) of `mix`, with the NVM part
+/// degraded to `capacity` first.
+pub fn measure_mix(policy: Policy, capacity: f64, mix: &Mix, seed: u64, opts: &ExpOpts) -> PhaseMetrics {
+    let setup = opts.phase_setup(policy);
+    let array = degraded_array(&setup.llc, capacity, seed);
+    let (m, _) = run_phase(&setup, mix, array, seed);
+    m
+}
+
+/// Single-phase measurement averaged over the options' mixes. Returns the
+/// summed LLC hit count, summed NVM bytes written, and mean IPC.
+pub fn measure_avg(policy: Policy, capacity: f64, opts: &ExpOpts) -> (f64, f64, f64) {
+    let mut hits = 0.0;
+    let mut bytes = 0.0;
+    let mut ipc = 0.0;
+    for (i, mix) in opts.mix_list().iter().enumerate() {
+        let m = measure_mix(policy, capacity, mix, opts.seed + i as u64, opts);
+        hits += m.llc.hits as f64;
+        bytes += m.llc.nvm_bytes_written as f64;
+        ipc += m.ipc;
+    }
+    (hits, bytes, ipc / opts.mixes as f64)
+}
+
+/// The headline policy set of Figures 1 and 10a, plus the bounds.
+pub fn headline_policies() -> Vec<(String, Policy)> {
+    vec![
+        ("BH".into(), Policy::Bh),
+        ("BH_CP".into(), Policy::BhCp),
+        ("LHybrid".into(), Policy::LHybrid),
+        ("TAP".into(), Policy::tap()),
+        ("CP_SD".into(), Policy::cp_sd()),
+        ("CP_SD_Th4".into(), Policy::cp_sd_th(4.0)),
+        ("CP_SD_Th8".into(), Policy::cp_sd_th(8.0)),
+    ]
+}
+
+/// Runs a family of forecast configurations (one per curve of a Figure
+/// 1/10/11-style plot), prints the summary table plus the full time series,
+/// and dumps JSON. The upper performance bound (16-way SRAM) is always run
+/// first and used to normalize IPC; the `4w SRAM` lower bound is included
+/// when `with_lower_bound` is set.
+pub fn run_forecast_experiment(
+    id: &str,
+    configs: &[(String, ForecastConfig)],
+    opts: &ExpOpts,
+    with_lower_bound: bool,
+) {
+    assert!(!configs.is_empty(), "need at least one configuration");
+    let total_ways = configs[0].1.llc.sram_ways + configs[0].1.llc.nvm_ways;
+
+    let mut curves: Vec<ForecastSeries> = Vec::new();
+    let upper = forecast_avg(
+        &sram_bound_config(&configs[0].1, total_ways),
+        opts,
+        &format!("{total_ways}w SRAM (upper bound)"),
+    );
+    let base_ipc = upper.initial_ipc().unwrap_or(1.0);
+    curves.push(upper);
+    if with_lower_bound {
+        let sram_ways = configs[0].1.llc.sram_ways.max(1);
+        curves.push(forecast_avg(
+            &sram_bound_config(&configs[0].1, sram_ways),
+            opts,
+            &format!("{sram_ways}w SRAM (lower bound)"),
+        ));
+    }
+    for (label, cfg) in configs {
+        curves.push(forecast_avg(cfg, opts, label));
+    }
+
+    let bh_life = curves
+        .iter()
+        .find(|c| c.label.starts_with("BH") && !c.label.contains("CP"))
+        .and_then(|c| c.lifetime_seconds(0.5));
+
+    let mut table = crate::report::Table::new([
+        "configuration",
+        "IPC(t=0)",
+        "norm IPC",
+        "hit rate",
+        "NVM B/cyc",
+        "life50 [h]",
+        "vs BH",
+    ]);
+    for c in &curves {
+        let p0 = c.points.first().copied();
+        let life_s = c.lifetime_seconds(0.5);
+        let ratio = match (life_s, bh_life) {
+            (Some(l), Some(b)) if b > 0.0 => format!("{:6.1}x", l / b),
+            _ => "     -".into(),
+        };
+        table.row([
+            c.label.clone(),
+            format!("{:.4}", p0.map_or(0.0, |p| p.ipc)),
+            format!("{:.3}", p0.map_or(0.0, |p| p.ipc) / base_ipc),
+            format!("{:.3}", p0.map_or(0.0, |p| p.hit_rate)),
+            format!("{:.3}", p0.map_or(0.0, |p| p.nvm_bytes_per_cycle)),
+            fmt_life(life_s.map(|s| s / 3600.0)),
+            ratio,
+        ]);
+    }
+    table.print();
+    println!("\nLifetime axis: {}", opts.time_note());
+
+    // Normalized-IPC-over-time series (the lines of the figure).
+    println!("\nNormalized IPC over time (columns: fraction of the longest run):");
+    let horizon = curves.iter().map(|c| c.end_time()).fold(0.0, f64::max);
+    let ticks = 12;
+    print!("{:<28}", "configuration");
+    for i in 0..=ticks {
+        print!(" {:>5.0}%", 100.0 * i as f64 / ticks as f64);
+    }
+    println!();
+    for c in &curves {
+        print!("{:<28}", c.label);
+        for i in 0..=ticks {
+            let t = horizon * i as f64 / ticks as f64;
+            let p = c.sample_at(t).unwrap();
+            print!(" {:>6.3}", p.ipc / base_ipc);
+        }
+        println!();
+    }
+
+    let json = serde_json::json!({
+        "experiment": id,
+        "mixes": opts.mixes,
+        "seed": opts.seed,
+        "full_scale": opts.full_scale,
+        "base_ipc": base_ipc,
+        "curves": curves.iter().map(|c| serde_json::json!({
+            "label": c.label,
+            "lifetime_seconds_50pct": c.lifetime_seconds(0.5),
+            "points": c.points.iter().map(|p| serde_json::json!({
+                "t": p.time_seconds, "capacity": p.capacity, "ipc": p.ipc,
+                "hit_rate": p.hit_rate, "nvm_bytes_per_cycle": p.nvm_bytes_per_cycle,
+            })).collect::<Vec<_>>(),
+        })).collect::<Vec<_>>(),
+    });
+    crate::report::save_json(id, &json);
+}
+
+/// Formats an optional lifetime in the report's time unit.
+pub fn fmt_life(hours: Option<f64>) -> String {
+    match hours {
+        Some(h) => format!("{h:8.2}"),
+        None => "   never".into(),
+    }
+}
+
+/// System config accessor used by table harnesses.
+pub fn system_for(opts: &ExpOpts) -> SystemConfig {
+    if opts.full_scale {
+        SystemConfig::paper_default()
+    } else {
+        SystemConfig::scaled_down()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(mixes: usize) -> ExpOpts {
+        ExpOpts { mixes, seed: 1, full_scale: false }
+    }
+
+    #[test]
+    fn mix_list_respects_count() {
+        assert_eq!(opts(1).mix_list().len(), 1);
+        assert_eq!(opts(10).mix_list().len(), 10);
+    }
+
+    #[test]
+    fn sram_bound_has_no_nvm() {
+        let base = opts(1).forecast_config(Policy::cp_sd());
+        let bound = sram_bound_config(&base, 16);
+        assert_eq!(bound.llc.nvm_ways, 0);
+        assert_eq!(bound.llc.sram_ways, 16);
+        assert_eq!(bound.llc.sets, base.llc.sets);
+    }
+
+    #[test]
+    fn fmt_life_handles_never() {
+        assert_eq!(fmt_life(None).trim(), "never");
+        assert_eq!(fmt_life(Some(1.5)).trim(), "1.50");
+    }
+
+    #[test]
+    fn degraded_array_none_at_full_capacity() {
+        let cfg = opts(1).forecast_config(Policy::cp_sd()).llc;
+        assert!(degraded_array(&cfg, 1.0, 1).is_none());
+        let arr = degraded_array(&cfg, 0.8, 1).expect("degraded array");
+        assert!(arr.capacity_fraction() <= 0.8);
+    }
+
+    #[test]
+    fn headline_set_covers_the_paper() {
+        let names: Vec<String> = headline_policies().iter().map(|(n, _)| n.clone()).collect();
+        for expected in ["BH", "BH_CP", "LHybrid", "TAP", "CP_SD", "CP_SD_Th4", "CP_SD_Th8"] {
+            assert!(names.iter().any(|n| n == expected), "{expected} missing");
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Experiment harness shared by the per-figure/per-table bench targets.
+//!
+//! Every table and figure of the paper's evaluation has a `[[bench]]`
+//! target (with `harness = false`) that regenerates its rows or series:
+//! run `cargo bench -p hllc-bench --bench fig10a` (or any other target)
+//! and read the ASCII report; a machine-readable JSON copy is written under
+//! `crates/bench/target/figures/` (the bench processes run with the
+//! package directory as their working directory).
+//!
+//! Environment knobs (all optional):
+//!
+//! * `HLLC_MIXES` — how many of the ten Table V mixes to average over
+//!   (default 3; the paper uses all 10).
+//! * `HLLC_SEED` — base RNG seed (default 42).
+//! * `HLLC_FULL=1` — run at the paper's full scale (4 MB LLC, μ = 10¹⁰)
+//!   instead of the fast scaled-down configuration. Expect hours.
+
+pub mod exp;
+pub mod report;
+pub mod stats;

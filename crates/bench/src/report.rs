@@ -1,0 +1,116 @@
+//! ASCII reporting and JSON dumps for the experiment harnesses.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// A simple fixed-width ASCII table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                s.push_str(&format!("{:<width$}  ", cell, width = widths[c]));
+            }
+            s.trim_end().to_string()
+        };
+        let mut out = line(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(id: &str, title: &str, paper_note: &str) {
+    println!("==============================================================");
+    println!("{id} — {title}");
+    println!("Paper reference: {paper_note}");
+    println!("==============================================================");
+}
+
+/// Writes a JSON value next to the ASCII report, under `target/figures/`.
+/// Failures are reported but not fatal (the ASCII report already printed).
+pub fn save_json(name: &str, value: &serde_json::Value) {
+    let dir = PathBuf::from("target/figures");
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = fs::write(&path, s) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("[json saved to {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["x", "1"]);
+        t.row(["longer-name", "2.5"]);
+        let r = t.render();
+        assert!(r.contains("longer-name"));
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Columns align: "value" starts at the same offset in all rows.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(&lines[2][col..col + 1], "1");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        Table::new(["a", "b"]).row(["only-one"]);
+    }
+}

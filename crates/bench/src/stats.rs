@@ -1,0 +1,98 @@
+//! Small-sample statistics for experiment reporting.
+
+/// Summary statistics of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected), 0 for n < 2.
+    pub std: f64,
+}
+
+impl Summary {
+    /// Half-width of an approximate 95 % confidence interval for the mean
+    /// (normal approximation; fine for the noise-floor reporting it backs).
+    pub fn ci95(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.std / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Coefficient of variation (std/mean), 0 when the mean is 0.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std / self.mean
+        }
+    }
+
+    /// Renders as `mean ± ci95`.
+    pub fn display(&self, precision: usize) -> String {
+        format!("{:.p$} ± {:.p$}", self.mean, self.ci95(), p = precision)
+    }
+}
+
+/// Summarizes a sample.
+///
+/// # Example
+///
+/// ```
+/// use hllc_bench::stats::summarize;
+///
+/// let s = summarize(&[1.0, 2.0, 3.0]);
+/// assert_eq!(s.mean, 2.0);
+/// assert!((s.std - 1.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics on an empty sample.
+pub fn summarize(xs: &[f64]) -> Summary {
+    assert!(!xs.is_empty(), "cannot summarize an empty sample");
+    let n = xs.len();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let std = if n < 2 {
+        0.0
+    } else {
+        (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0)).sqrt()
+    };
+    Summary { n, mean, std }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let s = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std - 2.138089935299395).abs() < 1e-9);
+        assert!(s.ci95() > 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = summarize(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.ci95(), 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = summarize(&[1.0, 1.0, 1.0]);
+        assert_eq!(s.display(2), "1.00 ± 0.00");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty() {
+        summarize(&[]);
+    }
+}

@@ -1,0 +1,376 @@
+//! The BDI compressor and decompressor.
+//!
+//! Hardware evaluates all compression encodings in parallel and picks the
+//! smallest applicable one (§II-B); this software model does the same
+//! sequentially. Decompression is exact: `decompress(compress(b)) == b` for
+//! every 64-byte block.
+
+use crate::block::{Block, BLOCK_SIZE};
+use crate::encoding::Encoding;
+
+/// A compressed cache block: the chosen encoding plus its payload bytes.
+///
+/// The payload layout is `base || delta_1 || ... || delta_{lanes-1}` with
+/// little-endian bases and little-endian two's-complement deltas, matching
+/// [`Encoding::compressed_size`] exactly.
+///
+/// # Example
+///
+/// ```
+/// use hllc_compress::{Block, Compressor};
+///
+/// let block = Block::from_u64_lanes([100, 101, 102, 103, 104, 105, 106, 107]);
+/// let cb = Compressor::new().compress(&block);
+/// assert_eq!(cb.size(), 15); // B8Δ1
+/// assert_eq!(cb.decompress(), block);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompressedBlock {
+    encoding: Encoding,
+    payload: Vec<u8>,
+}
+
+impl CompressedBlock {
+    /// The encoding this block was compressed with.
+    pub fn encoding(&self) -> Encoding {
+        self.encoding
+    }
+
+    /// Compressed block (CB) size in bytes.
+    pub fn size(&self) -> u8 {
+        self.encoding.compressed_size()
+    }
+
+    /// Extended compressed block (ECB) size in bytes: CB plus the 4-bit CE
+    /// and the 11-bit SECDED code, rounded up to whole bytes (§III-B1).
+    pub fn ecb_size(&self) -> u8 {
+        ecb_size(self.encoding.compressed_size())
+    }
+
+    /// The raw payload bytes (base followed by deltas).
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Reconstructs the original 64-byte block.
+    pub fn decompress(&self) -> Block {
+        match self.encoding {
+            Encoding::Zeros => Block::zeroed(),
+            Encoding::Repeated => {
+                let v = u64::from_le_bytes(self.payload[..8].try_into().unwrap());
+                Block::from_u64_lanes([v; 8])
+            }
+            Encoding::Uncompressed => {
+                let mut bytes = [0u8; BLOCK_SIZE];
+                bytes.copy_from_slice(&self.payload);
+                Block::new(bytes)
+            }
+            e => decompress_base_delta(e, &self.payload),
+        }
+    }
+
+    /// Reassembles a `CompressedBlock` from an encoding and payload bytes,
+    /// e.g. after reading an ECB back from an NVM frame.
+    ///
+    /// Returns `None` if the payload length does not match the encoding.
+    pub fn from_parts(encoding: Encoding, payload: Vec<u8>) -> Option<Self> {
+        if payload.len() == encoding.compressed_size() as usize {
+            Some(CompressedBlock { encoding, payload })
+        } else {
+            None
+        }
+    }
+}
+
+/// Extended-compressed-block size for a CB of `cb_size` bytes: the CB plus
+/// 4 CE bits plus 11 SECDED bits, i.e. `cb_size + 2` whole bytes.
+pub(crate) fn ecb_size(cb_size: u8) -> u8 {
+    cb_size + 2
+}
+
+/// The modified BDI compressor (Table I).
+///
+/// Stateless; `Compressor` exists as a type so callers can later swap in a
+/// different compression mechanism — the paper notes the insertion policies
+/// are orthogonal to the compressor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Compressor;
+
+impl Compressor {
+    /// Creates a compressor.
+    pub fn new() -> Self {
+        Compressor
+    }
+
+    /// Compresses a block, choosing the smallest applicable encoding.
+    pub fn compress(&self, block: &Block) -> CompressedBlock {
+        let encoding = self.best_encoding(block);
+        let payload = match encoding {
+            Encoding::Zeros => vec![0u8],
+            Encoding::Repeated => block.bytes()[..8].to_vec(),
+            Encoding::Uncompressed => block.bytes().to_vec(),
+            e => encode_base_delta(e, block),
+        };
+        debug_assert_eq!(payload.len(), encoding.compressed_size() as usize);
+        CompressedBlock { encoding, payload }
+    }
+
+    /// Returns only the compressed size in bytes — the fast path used by the
+    /// insertion engine, which needs the size before deciding where (and
+    /// whether) to materialize the compressed payload.
+    pub fn compressed_size(&self, block: &Block) -> u8 {
+        self.best_encoding(block).compressed_size()
+    }
+
+    /// Chooses the minimum-size encoding that can represent `block`.
+    pub fn best_encoding(&self, block: &Block) -> Encoding {
+        let mut best = Encoding::Uncompressed;
+        let mut best_size = best.compressed_size();
+        for e in Encoding::ALL {
+            if e.compressed_size() < best_size && applies(e, block) {
+                best = e;
+                best_size = e.compressed_size();
+            }
+        }
+        best
+    }
+}
+
+/// True if `encoding` can losslessly represent `block`.
+fn applies(encoding: Encoding, block: &Block) -> bool {
+    match encoding {
+        Encoding::Uncompressed => true,
+        Encoding::Zeros => block.is_zero(),
+        Encoding::Repeated => {
+            let lanes = block.u64_lanes();
+            lanes.iter().all(|&v| v == lanes[0])
+        }
+        e => {
+            let delta = i64::from(e.delta_width().unwrap());
+            // Signed range representable in `delta` bytes.
+            let max = (1i64 << (8 * delta - 1)) - 1;
+            let min = -(1i64 << (8 * delta - 1));
+            match e.base_width().unwrap() {
+                8 => fits::<8>(&block.u64_lanes().map(|v| v as i64), min, max),
+                4 => fits::<16>(
+                    &block.u32_lanes().map(|v| i64::from(v as i32)),
+                    min,
+                    max,
+                ),
+                2 => fits::<32>(
+                    &block.u16_lanes().map(|v| i64::from(v as i16)),
+                    min,
+                    max,
+                ),
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+/// True if every lane's signed difference from the first lane lies in
+/// `[min, max]`.
+fn fits<const N: usize>(lanes: &[i64; N], min: i64, max: i64) -> bool {
+    let base = lanes[0];
+    lanes[1..]
+        .iter()
+        .all(|&v| matches!(v.wrapping_sub(base), d if d >= min && d <= max))
+}
+
+fn encode_base_delta(encoding: Encoding, block: &Block) -> Vec<u8> {
+    let base_w = encoding.base_width().unwrap() as usize;
+    let delta_w = encoding.delta_width().unwrap() as usize;
+    let lanes: Vec<i64> = match base_w {
+        8 => block.u64_lanes().iter().map(|&v| v as i64).collect(),
+        4 => block.u32_lanes().iter().map(|&v| i64::from(v as i32)).collect(),
+        2 => block.u16_lanes().iter().map(|&v| i64::from(v as i16)).collect(),
+        _ => unreachable!(),
+    };
+    let mut payload = Vec::with_capacity(encoding.compressed_size() as usize);
+    payload.extend_from_slice(&block.bytes()[..base_w]);
+    let base = lanes[0];
+    for &v in &lanes[1..] {
+        let d = v.wrapping_sub(base);
+        payload.extend_from_slice(&d.to_le_bytes()[..delta_w]);
+    }
+    payload
+}
+
+fn decompress_base_delta(encoding: Encoding, payload: &[u8]) -> Block {
+    let base_w = encoding.base_width().unwrap() as usize;
+    let delta_w = encoding.delta_width().unwrap() as usize;
+    let n_lanes = 64 / base_w;
+
+    let mut base_bytes = [0u8; 8];
+    base_bytes[..base_w].copy_from_slice(&payload[..base_w]);
+    // Sign-extend the base to i64 according to its width.
+    let base = match base_w {
+        8 => u64::from_le_bytes(base_bytes) as i64,
+        4 => i64::from(u32::from_le_bytes(base_bytes[..4].try_into().unwrap()) as i32),
+        2 => i64::from(u16::from_le_bytes(base_bytes[..2].try_into().unwrap()) as i16),
+        _ => unreachable!(),
+    };
+
+    let mut lanes = vec![base];
+    let mut off = base_w;
+    for _ in 1..n_lanes {
+        let mut d_bytes = [0u8; 8];
+        d_bytes[..delta_w].copy_from_slice(&payload[off..off + delta_w]);
+        // Sign-extend the delta.
+        let mut d = i64::from_le_bytes(d_bytes);
+        let shift = 64 - 8 * delta_w;
+        d = (d << shift) >> shift;
+        lanes.push(base.wrapping_add(d));
+        off += delta_w;
+    }
+
+    match base_w {
+        8 => Block::from_u64_lanes(core::array::from_fn(|i| lanes[i] as u64)),
+        4 => Block::from_u32_lanes(core::array::from_fn(|i| lanes[i] as u32)),
+        2 => Block::from_u16_lanes(core::array::from_fn(|i| lanes[i] as u16)),
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(block: Block) -> Encoding {
+        let cb = Compressor::new().compress(&block);
+        assert_eq!(cb.decompress(), block, "round trip failed for {block:?}");
+        cb.encoding()
+    }
+
+    #[test]
+    fn zeros() {
+        assert_eq!(round_trip(Block::zeroed()), Encoding::Zeros);
+    }
+
+    #[test]
+    fn repeated() {
+        assert_eq!(
+            round_trip(Block::from_u64_lanes([0xdead_beef_cafe_f00d; 8])),
+            Encoding::Repeated
+        );
+    }
+
+    #[test]
+    fn b8d1() {
+        let b = Block::from_u64_lanes([1000, 1001, 999, 1127, 1000 - 128, 1000, 1000, 1000]);
+        assert_eq!(round_trip(b), Encoding::B8D1);
+    }
+
+    #[test]
+    fn b8d1_boundary_deltas() {
+        // +127 and -128 are the extreme 1-byte deltas; +128 must spill to Δ2.
+        let inside = Block::from_u64_lanes([0, 127, (-128i64) as u64, 0, 0, 0, 0, 0]);
+        // Note: the all-zeros block would win; shift base so Zeros/Rep do not apply.
+        let inside = Block::from_u64_lanes(inside.u64_lanes().map(|v| v.wrapping_add(5000)));
+        assert_eq!(round_trip(inside), Encoding::B8D1);
+
+        let outside = Block::from_u64_lanes([5000, 5128, 5000, 5001, 5002, 5003, 5004, 5005]);
+        assert_eq!(round_trip(outside), Encoding::B8D2);
+    }
+
+    #[test]
+    fn all_delta_widths_reachable() {
+        // Construct blocks whose max delta needs exactly d bytes.
+        for (d, expect) in [
+            (1u32, Encoding::B8D1),
+            (2, Encoding::B8D2),
+            (3, Encoding::B8D3),
+            (4, Encoding::B8D4),
+            (5, Encoding::B8D5),
+            (6, Encoding::B8D6),
+            (7, Encoding::B8D7),
+        ] {
+            let delta = 1u64 << (8 * (d - 1) + 6); // needs d bytes signed
+            let base = 0x0100_0000_0000_0000u64;
+            let mut lanes = [base; 8];
+            lanes[3] = base + delta;
+            // Vary another lane so Repeated never applies.
+            lanes[5] = base + 1;
+            assert_eq!(round_trip(Block::from_u64_lanes(lanes)), expect, "delta width {d}");
+        }
+    }
+
+    #[test]
+    fn b4_variants() {
+        // Perturb the *high* u32 of a u64 lane so the B8 groupings see a huge
+        // delta and the B4 encodings genuinely win on size.
+        let mut lanes = [0x7000_0000u32; 16];
+        lanes[3] = 0x7000_0001;
+        assert_eq!(round_trip(Block::from_u32_lanes(lanes)), Encoding::B4D1);
+        lanes[3] = 0x7000_4000;
+        assert_eq!(round_trip(Block::from_u32_lanes(lanes)), Encoding::B4D2);
+        lanes[3] = 0x7040_0000;
+        assert_eq!(round_trip(Block::from_u32_lanes(lanes)), Encoding::B4D3);
+    }
+
+    #[test]
+    fn b2d1() {
+        let mut lanes = [0x4000u16; 32];
+        lanes[7] = 0x4001;
+        lanes[8] = 0x3FFF;
+        assert_eq!(round_trip(Block::from_u16_lanes(lanes)), Encoding::B2D1);
+    }
+
+    #[test]
+    fn incompressible() {
+        // High-entropy-looking bytes: wide 2-, 4-, and 8-byte spreads.
+        let mut bytes = [0u8; 64];
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        for b in bytes.iter_mut() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *b = (x >> 33) as u8;
+        }
+        assert_eq!(round_trip(Block::new(bytes)), Encoding::Uncompressed);
+    }
+
+    #[test]
+    fn smaller_encoding_preferred() {
+        // A block that is both B4Δ1 (19 B) and B8Δ4-compatible must pick B4Δ1.
+        let lanes = [0x10u32; 16];
+        let mut lanes = lanes;
+        lanes[1] = 0x11;
+        let cb = Compressor::new().compress(&Block::from_u32_lanes(lanes));
+        assert_eq!(cb.encoding(), Encoding::B4D1);
+    }
+
+    #[test]
+    fn ecb_adds_two_bytes() {
+        let cb = Compressor::new().compress(&Block::zeroed());
+        assert_eq!(cb.ecb_size(), cb.size() + 2);
+    }
+
+    #[test]
+    fn from_parts_validates_length() {
+        assert!(CompressedBlock::from_parts(Encoding::Zeros, vec![0]).is_some());
+        assert!(CompressedBlock::from_parts(Encoding::Zeros, vec![0, 0]).is_none());
+    }
+
+    #[test]
+    fn compressed_size_matches_compress() {
+        let c = Compressor::new();
+        for seed in 0..50u64 {
+            let mut bytes = [0u8; 64];
+            let mut x = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+            for b in bytes.iter_mut() {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *b = (x >> 56) as u8;
+            }
+            let blk = Block::new(bytes);
+            assert_eq!(c.compressed_size(&blk), c.compress(&blk).size());
+        }
+    }
+
+    #[test]
+    fn negative_base_values() {
+        // Lanes interpreted as signed: base near i64::MIN with small spread.
+        let base = i64::MIN as u64 + 10;
+        let mut lanes = [base; 8];
+        lanes[1] = base + 3;
+        assert_eq!(round_trip(Block::from_u64_lanes(lanes)), Encoding::B8D1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Hybrid LLC configuration.
+
+use hllc_nvm::EnduranceModel;
+use hllc_sim::LlcGeometry;
+
+use crate::dueling::DEFAULT_EPOCH_CYCLES;
+use crate::policy::Policy;
+
+/// Configuration of a [`HybridLlc`](crate::HybridLlc).
+///
+/// # Example
+///
+/// ```
+/// use hllc_core::{HybridConfig, Policy};
+///
+/// let cfg = HybridConfig::new(4096, 4, 12, Policy::cp_sd())
+///     .with_endurance(1e10, 0.2)
+///     .with_seed(7);
+/// assert_eq!(cfg.sets, 4096);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct HybridConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// SRAM ways per set.
+    pub sram_ways: usize,
+    /// NVM ways per set (0 for the SRAM-only bounds).
+    pub nvm_ways: usize,
+    /// Insertion policy.
+    pub policy: Policy,
+    /// NVM bitcell endurance model.
+    pub endurance: EnduranceModel,
+    /// Set Dueling epoch length in cycles.
+    pub epoch_cycles: u64,
+    /// Inter-epoch smoothing of the Set Dueling counters (0 = the paper's
+    /// raw per-epoch counters; scaled-down simulations use ~0.6 to recover
+    /// full-size sampler statistics).
+    pub dueling_smoothing: f64,
+    /// RNG seed for the endurance sampling.
+    pub seed: u64,
+    /// NVM data-array write latency in cycles (Table IV: 20). A read that
+    /// arrives at a bank while a write is in flight waits out the
+    /// remainder; 0 disables contention modelling.
+    pub nvm_write_cycles: u32,
+    /// Number of LLC banks (Table IV: 4); banks interleave by set index.
+    pub banks: usize,
+    /// Use Fit-LRU in the NVM part (the paper's design): the victim is the
+    /// LRU block among the frames the incoming ECB fits in. Disabling this
+    /// (ablation) picks the plain LRU frame and falls back to SRAM when the
+    /// block does not fit it.
+    pub fit_lru: bool,
+}
+
+impl HybridConfig {
+    /// Creates a configuration with the paper's endurance defaults
+    /// (`μ = 10^10`, `cv = 0.2`) and 2 M-cycle epochs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or the cache has no ways.
+    pub fn new(sets: usize, sram_ways: usize, nvm_ways: usize, policy: Policy) -> Self {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(sram_ways + nvm_ways > 0, "cache must have at least one way");
+        HybridConfig {
+            sets,
+            sram_ways,
+            nvm_ways,
+            policy,
+            endurance: EnduranceModel::paper_default(),
+            epoch_cycles: DEFAULT_EPOCH_CYCLES,
+            dueling_smoothing: 0.0,
+            seed: 0xC0FFEE,
+            nvm_write_cycles: 20,
+            banks: 4,
+            fit_lru: true,
+        }
+    }
+
+    /// Builds from an [`LlcGeometry`].
+    pub fn from_geometry(geom: LlcGeometry, policy: Policy) -> Self {
+        HybridConfig::new(geom.sets, geom.sram_ways, geom.nvm_ways, policy)
+    }
+
+    /// Overrides the endurance distribution.
+    pub fn with_endurance(mut self, mean: f64, cv: f64) -> Self {
+        self.endurance = EnduranceModel::new(mean, cv);
+        self
+    }
+
+    /// Overrides the endurance-sampling seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the Set Dueling epoch length.
+    pub fn with_epoch_cycles(mut self, cycles: u64) -> Self {
+        self.epoch_cycles = cycles;
+        self
+    }
+
+    /// Overrides the Set Dueling counter smoothing.
+    pub fn with_dueling_smoothing(mut self, smoothing: f64) -> Self {
+        self.dueling_smoothing = smoothing;
+        self
+    }
+
+    /// Disables Fit-LRU in the NVM part (ablation study).
+    pub fn without_fit_lru(mut self) -> Self {
+        self.fit_lru = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let cfg = HybridConfig::new(64, 3, 13, Policy::LHybrid)
+            .with_endurance(1e8, 0.25)
+            .with_epoch_cycles(500)
+            .with_seed(1);
+        assert_eq!(cfg.nvm_ways, 13);
+        assert_eq!(cfg.endurance.cv(), 0.25);
+        assert_eq!(cfg.epoch_cycles, 500);
+    }
+
+    #[test]
+    fn from_geometry() {
+        let geom = LlcGeometry { sets: 128, sram_ways: 4, nvm_ways: 12 };
+        let cfg = HybridConfig::from_geometry(geom, Policy::Bh);
+        assert_eq!((cfg.sets, cfg.sram_ways, cfg.nvm_ways), (128, 4, 12));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_sets() {
+        HybridConfig::new(100, 4, 12, Policy::Bh);
+    }
+}

@@ -1,0 +1,701 @@
+//! The hybrid NVM–SRAM LLC engine.
+//!
+//! One structure implements every policy of Table III; the policy value
+//! selects the insertion target, the replacement flavour (LRU, Fit-LRU,
+//! global vs local), the migration behaviour, and the reuse tagging rules.
+
+use hllc_nvm::NvmArray;
+use hllc_sim::{set_index, DataModel, LlcPort, LlcReq, LlcResponse, LlcStats, ReuseClass};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::HybridConfig;
+use crate::dueling::SetDueling;
+use crate::line::LineState;
+use crate::policy::Policy;
+
+/// Which half of a hybrid set a block lives in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Part {
+    /// Fast, wear-free SRAM ways (blocks stored uncompressed).
+    Sram,
+    /// Dense NVM ways (blocks stored compressed under byte-disabling
+    /// policies).
+    Nvm,
+}
+
+/// The hybrid last-level cache.
+///
+/// See the crate-level docs for the policy taxonomy and an example.
+#[derive(Clone, Debug)]
+pub struct HybridLlc {
+    sets: usize,
+    sram_ways: usize,
+    nvm_ways: usize,
+    policy: Policy,
+    sram: Vec<Option<LineState>>,
+    nvm: Vec<Option<LineState>>,
+    array: Option<NvmArray>,
+    dueling: Option<SetDueling>,
+    /// TAP's thrashing predictor: a hashed table of saturating per-block
+    /// hit counters that persists across LLC residencies (the original TAP
+    /// tracks thrashing behaviour with a predictor, not per-residency
+    /// counts).
+    tap_table: Vec<u8>,
+    fit_lru: bool,
+    /// Per-bank cycle timestamps until which the NVM data array is busy
+    /// writing; reads arriving earlier wait out the difference (Table IV's
+    /// 20-cycle write latency).
+    bank_busy_until: Vec<u64>,
+    nvm_write_cycles: u32,
+    /// Monotone view of the cycle clock (per-core clocks jitter slightly;
+    /// contention must not charge skew as wait time).
+    clock: u64,
+    stamp: u64,
+    stats: LlcStats,
+}
+
+/// Size of TAP's hashed predictor table.
+const TAP_TABLE_ENTRIES: usize = 1 << 16;
+
+impl HybridLlc {
+    /// Builds an LLC from a configuration, sampling fresh NVM endurances.
+    pub fn new(cfg: &HybridConfig) -> Self {
+        let array = (cfg.nvm_ways > 0).then(|| {
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            NvmArray::new(
+                cfg.sets,
+                cfg.nvm_ways,
+                &cfg.endurance,
+                cfg.policy.granularity(),
+                &mut rng,
+            )
+        });
+        Self::with_array(cfg, array)
+    }
+
+    /// Builds an LLC around an existing (possibly aged) NVM array — the
+    /// forecast procedure threads wear state through successive simulation
+    /// phases this way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array's geometry does not match the configuration.
+    pub fn with_array(cfg: &HybridConfig, array: Option<NvmArray>) -> Self {
+        if let Some(a) = &array {
+            assert_eq!(a.sets(), cfg.sets, "array/config set mismatch");
+            assert_eq!(a.ways(), cfg.nvm_ways, "array/config way mismatch");
+            assert_eq!(
+                a.granularity(),
+                cfg.policy.granularity(),
+                "array granularity does not match the policy"
+            );
+        } else {
+            assert_eq!(cfg.nvm_ways, 0, "NVM ways require an array");
+        }
+        let dueling = matches!(cfg.policy, Policy::CpSd { .. }).then(|| {
+            let Policy::CpSd { th, tw } = cfg.policy else { unreachable!() };
+            let mut d = SetDueling::new(th, tw, cfg.epoch_cycles);
+            d.set_smoothing(cfg.dueling_smoothing);
+            d
+        });
+        let tap_table = match cfg.policy {
+            Policy::Tap { .. } => vec![0u8; TAP_TABLE_ENTRIES],
+            _ => Vec::new(),
+        };
+        HybridLlc {
+            sets: cfg.sets,
+            sram_ways: cfg.sram_ways,
+            nvm_ways: cfg.nvm_ways,
+            policy: cfg.policy,
+            sram: vec![None; cfg.sets * cfg.sram_ways],
+            nvm: vec![None; cfg.sets * cfg.nvm_ways],
+            array,
+            dueling,
+            tap_table,
+            fit_lru: cfg.fit_lru,
+            bank_busy_until: vec![0; cfg.banks.max(1)],
+            nvm_write_cycles: cfg.nvm_write_cycles,
+            clock: 0,
+            stamp: 0,
+            stats: LlcStats::default(),
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// The NVM wear state, if the cache has NVM ways.
+    pub fn array(&self) -> Option<&NvmArray> {
+        self.array.as_ref()
+    }
+
+    /// Mutable NVM wear state (forecast prediction phases, fault injection).
+    pub fn array_mut(&mut self) -> Option<&mut NvmArray> {
+        self.array.as_mut()
+    }
+
+    /// Extracts the NVM wear state, consuming the cache.
+    pub fn into_array(self) -> Option<NvmArray> {
+        self.array
+    }
+
+    /// Remaining NVM capacity fraction (1.0 for an SRAM-only cache).
+    pub fn capacity_fraction(&self) -> f64 {
+        self.array.as_ref().map_or(1.0, |a| a.capacity_fraction())
+    }
+
+    /// The Set Dueling controller (CP_SD policies only).
+    pub fn dueling(&self) -> Option<&SetDueling> {
+        self.dueling.as_ref()
+    }
+
+    /// Mutable Set Dueling controller.
+    pub fn dueling_mut(&mut self) -> Option<&mut SetDueling> {
+        self.dueling.as_mut()
+    }
+
+    /// Invalidates every line (used between forecast phases; wear state is
+    /// kept). Dirty contents are dropped — callers model the writeback
+    /// traffic themselves if they need it.
+    pub fn clear_contents(&mut self) {
+        self.sram.iter_mut().for_each(|l| *l = None);
+        self.nvm.iter_mut().for_each(|l| *l = None);
+    }
+
+    fn next_stamp(&mut self) -> u64 {
+        self.stamp += 1;
+        self.stamp
+    }
+
+    fn line(&self, part: Part, set: usize, way: usize) -> &Option<LineState> {
+        match part {
+            Part::Sram => &self.sram[set * self.sram_ways + way],
+            Part::Nvm => &self.nvm[set * self.nvm_ways + way],
+        }
+    }
+
+    fn line_mut(&mut self, part: Part, set: usize, way: usize) -> &mut Option<LineState> {
+        match part {
+            Part::Sram => &mut self.sram[set * self.sram_ways + way],
+            Part::Nvm => &mut self.nvm[set * self.nvm_ways + way],
+        }
+    }
+
+    /// Looks up a resident block.
+    fn find(&self, set: usize, block: u64) -> Option<(Part, usize)> {
+        for way in 0..self.sram_ways {
+            if self.line(Part::Sram, set, way).as_ref().is_some_and(|l| l.block == block) {
+                return Some((Part::Sram, way));
+            }
+        }
+        for way in 0..self.nvm_ways {
+            if self.line(Part::Nvm, set, way).as_ref().is_some_and(|l| l.block == block) {
+                return Some((Part::Nvm, way));
+            }
+        }
+        None
+    }
+
+    /// True if `block` is currently resident (test/diagnostic helper).
+    pub fn contains(&self, block: u64) -> bool {
+        self.find(set_index(block, self.sets), block).is_some()
+    }
+
+    /// Where `block` currently lives, if resident.
+    pub fn locate(&self, block: u64) -> Option<Part> {
+        self.find(set_index(block, self.sets), block).map(|(p, _)| p)
+    }
+
+    /// The exact (part, way) a resident block occupies (diagnostics).
+    pub fn locate_way(&self, block: u64) -> Option<(Part, usize)> {
+        self.find(set_index(block, self.sets), block)
+    }
+
+    /// The resident line for `block`, if any (diagnostics).
+    pub fn peek(&self, block: u64) -> Option<&LineState> {
+        let set = set_index(block, self.sets);
+        self.find(set, block)
+            .and_then(|(p, w)| self.line(p, set, w).as_ref())
+    }
+
+    fn maybe_epoch(&mut self, now: u64) {
+        if let Some(d) = &mut self.dueling {
+            d.maybe_epoch(now);
+        }
+    }
+
+    /// The compression threshold in force for `set`.
+    fn cp_th_for(&self, set: usize) -> u8 {
+        match self.policy {
+            Policy::Ca { cp_th } | Policy::CaRwr { cp_th } => cp_th,
+            Policy::CpSd { .. } => self
+                .dueling
+                .as_ref()
+                .expect("CP_SD has a dueling controller")
+                .cp_th_for_set(set),
+            _ => 64,
+        }
+    }
+
+    /// TAP predictor slot for a block.
+    fn tap_slot(block: u64) -> usize {
+        (block.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48) as usize % TAP_TABLE_ENTRIES
+    }
+
+    /// Updates TAP's thrashing predictor on a hit and returns the block's
+    /// cumulative (hashed) hit count.
+    fn tap_observe(&mut self, block: u64, line: &LineState, req: LlcReq) -> u32 {
+        let slot = Self::tap_slot(block);
+        if req == LlcReq::GetS && !line.dirty {
+            self.tap_table[slot] = self.tap_table[slot].saturating_add(1);
+        }
+        u32::from(self.tap_table[slot])
+    }
+
+    /// Reuse tag handed back on a hit, per the policy's classification
+    /// rules (§IV-B; LHybrid/TAP per §II-C). `tap_count` is the block's
+    /// cumulative predictor count (TAP only).
+    fn classify_hit(&self, line: &LineState, req: LlcReq, tap_count: u32) -> ReuseClass {
+        match self.policy {
+            Policy::CaRwr { .. } | Policy::CpSd { .. } => match req {
+                LlcReq::GetX => ReuseClass::Write,
+                LlcReq::GetS => {
+                    if line.dirty {
+                        ReuseClass::Write
+                    } else {
+                        ReuseClass::Read
+                    }
+                }
+            },
+            Policy::LHybrid => match req {
+                LlcReq::GetS if !line.dirty => ReuseClass::Read,
+                _ => ReuseClass::None,
+            },
+            Policy::Tap { hit_threshold } => match req {
+                LlcReq::GetS if !line.dirty && tap_count >= hit_threshold => ReuseClass::Read,
+                _ => ReuseClass::None,
+            },
+            Policy::Bh | Policy::BhCp | Policy::Ca { .. } => ReuseClass::None,
+        }
+    }
+
+    /// Insertion target for the NVM-aware policies (Table II).
+    fn decide_part(&self, set: usize, line: &LineState) -> Part {
+        match self.policy {
+            Policy::Ca { .. } => {
+                if line.cb_size <= self.cp_th_for(set) {
+                    Part::Nvm
+                } else {
+                    Part::Sram
+                }
+            }
+            Policy::CaRwr { .. } | Policy::CpSd { .. } => match line.reuse {
+                ReuseClass::Read => Part::Nvm,
+                ReuseClass::Write => Part::Sram,
+                ReuseClass::None => {
+                    if line.cb_size <= self.cp_th_for(set) {
+                        Part::Nvm
+                    } else {
+                        Part::Sram
+                    }
+                }
+            },
+            Policy::LHybrid => {
+                if line.reuse == ReuseClass::Read && !line.dirty {
+                    Part::Nvm
+                } else {
+                    Part::Sram
+                }
+            }
+            Policy::Tap { .. } => {
+                if line.reuse == ReuseClass::Read && !line.dirty {
+                    Part::Nvm
+                } else {
+                    Part::Sram
+                }
+            }
+            Policy::Bh | Policy::BhCp => {
+                unreachable!("BH variants use global replacement, not part steering")
+            }
+        }
+    }
+
+    /// Fit-LRU victim selection in the NVM part: among the frames whose
+    /// effective capacity can hold `ecb` bytes, prefer an empty one,
+    /// otherwise the least-recently-used (§III-B1, [18]).
+    ///
+    /// With `fit_lru` disabled (ablation), the plain LRU frame is chosen
+    /// first and returned only if the block happens to fit it — modelling a
+    /// fault-oblivious replacement that wastes partially-disabled frames.
+    fn pick_nvm_way(&self, set: usize, ecb: usize) -> Option<usize> {
+        let array = self.array.as_ref()?;
+        if !self.fit_lru {
+            let mut lru_way = None;
+            let mut lru_stamp = u64::MAX;
+            for way in 0..self.nvm_ways {
+                if array.effective_capacity(set, way) == 0 {
+                    continue; // dead frames are skipped even without Fit-LRU
+                }
+                match self.line(Part::Nvm, set, way) {
+                    None if array.fits(set, way, ecb) => return Some(way),
+                    None => {}
+                    Some(l) if l.lru < lru_stamp => {
+                        lru_stamp = l.lru;
+                        lru_way = Some(way);
+                    }
+                    Some(_) => {}
+                }
+            }
+            return lru_way.filter(|&w| array.fits(set, w, ecb));
+        }
+        let mut lru_way = None;
+        let mut lru_stamp = u64::MAX;
+        for way in 0..self.nvm_ways {
+            if !array.fits(set, way, ecb) {
+                continue;
+            }
+            match self.line(Part::Nvm, set, way) {
+                None => return Some(way),
+                Some(l) if l.lru < lru_stamp => {
+                    lru_stamp = l.lru;
+                    lru_way = Some(way);
+                }
+                Some(_) => {}
+            }
+        }
+        lru_way
+    }
+
+    /// Plain-LRU victim selection in the SRAM part.
+    fn pick_sram_way(&self, set: usize) -> Option<usize> {
+        let mut lru_way = None;
+        let mut lru_stamp = u64::MAX;
+        for way in 0..self.sram_ways {
+            match self.line(Part::Sram, set, way) {
+                None => return Some(way),
+                Some(l) if l.lru < lru_stamp => {
+                    lru_stamp = l.lru;
+                    lru_way = Some(way);
+                }
+                Some(_) => {}
+            }
+        }
+        lru_way
+    }
+
+    /// Removes a line and returns it.
+    fn take(&mut self, part: Part, set: usize, way: usize) -> Option<LineState> {
+        self.line_mut(part, set, way).take()
+    }
+
+    /// Drops an evicted line, recording the writeback if it was dirty.
+    fn retire(&mut self, line: LineState) {
+        if line.dirty {
+            self.stats.writebacks += 1;
+        }
+    }
+
+    fn bank_of(&self, set: usize) -> usize {
+        set % self.bank_busy_until.len()
+    }
+
+    /// Writes `line` into an NVM frame, with all accounting.
+    fn commit_nvm(&mut self, now: u64, set: usize, way: usize, line: LineState, migration: bool) {
+        let ecb = if self.policy.uses_compression() {
+            line.ecb_size()
+        } else {
+            hllc_nvm::FRAME_BYTES // uncompressed policies rewrite the frame
+        };
+        let bytes = self
+            .array
+            .as_mut()
+            .expect("NVM insert requires an array")
+            .note_write(set, way, ecb);
+        self.stats.nvm_inserts += 1;
+        self.stats.nvm_bytes_written += bytes;
+        if migration {
+            self.stats.migrations += 1;
+        }
+        if let Some(d) = &mut self.dueling {
+            d.record_write(set, bytes);
+        }
+        if self.nvm_write_cycles > 0 {
+            self.clock = self.clock.max(now);
+            let clock = self.clock;
+            let bank = self.bank_of(set);
+            let busy = &mut self.bank_busy_until[bank];
+            *busy = (*busy).max(clock) + u64::from(self.nvm_write_cycles);
+        }
+        *self.line_mut(Part::Nvm, set, way) = Some(line);
+    }
+
+    /// Writes `line` into an SRAM way, with accounting.
+    fn commit_sram(&mut self, set: usize, way: usize, line: LineState) {
+        self.stats.sram_inserts += 1;
+        *self.line_mut(Part::Sram, set, way) = Some(line);
+    }
+
+    /// Inserts into the NVM part via Fit-LRU. Falls back to SRAM when no
+    /// frame fits (`migration` victims are dropped instead — a migration
+    /// must not displace younger SRAM blocks).
+    fn place_nvm(&mut self, now: u64, set: usize, line: LineState, migration: bool) {
+        let ecb = if self.policy.uses_compression() {
+            line.ecb_size()
+        } else {
+            hllc_nvm::FRAME_BYTES
+        };
+        match self.pick_nvm_way(set, ecb) {
+            Some(way) => {
+                if let Some(old) = self.take(Part::Nvm, set, way) {
+                    self.retire(old);
+                }
+                self.commit_nvm(now, set, way, line, migration);
+            }
+            None if migration => self.retire(line),
+            None => self.place_sram(now, set, line),
+        }
+    }
+
+    /// Inserts into the SRAM part, applying the policy's replacement and
+    /// migration rules.
+    fn place_sram(&mut self, now: u64, set: usize, line: LineState) {
+        if self.sram_ways == 0 {
+            // Asymmetric configurations without SRAM: try NVM, else bypass.
+            let ecb = line.ecb_size();
+            if self.pick_nvm_way(set, ecb).is_some() {
+                self.place_nvm(now, set, line, false);
+            } else {
+                self.stats.bypasses += 1;
+                self.retire(line);
+            }
+            return;
+        }
+
+        // LHybrid: migrate the most-recent loop-block out of SRAM first.
+        if self.policy == Policy::LHybrid {
+            if let Some(lb_way) = self.most_recent_lb_way(set) {
+                // Only migrate when SRAM is actually full.
+                let has_empty = (0..self.sram_ways).any(|w| self.line(Part::Sram, set, w).is_none());
+                if !has_empty {
+                    let lb = self.take(Part::Sram, set, lb_way).unwrap();
+                    self.place_nvm(now, set, lb, true);
+                    self.commit_sram(set, lb_way, line);
+                    return;
+                }
+            }
+        }
+
+        let way = self.pick_sram_way(set).expect("SRAM part has ways");
+        if let Some(victim) = self.take(Part::Sram, set, way) {
+            let migrate = matches!(self.policy, Policy::CaRwr { .. } | Policy::CpSd { .. })
+                && victim.reuse == ReuseClass::Read;
+            if migrate {
+                self.place_nvm(now, set, victim, true);
+            } else {
+                self.retire(victim);
+            }
+        }
+        self.commit_sram(set, way, line);
+    }
+
+    /// SRAM way holding the most-recently-used loop-block, if any.
+    fn most_recent_lb_way(&self, set: usize) -> Option<usize> {
+        let mut best: Option<(usize, u64)> = None;
+        for way in 0..self.sram_ways {
+            if let Some(l) = self.line(Part::Sram, set, way) {
+                if l.reuse == ReuseClass::Read && best.is_none_or(|(_, s)| l.lru > s) {
+                    best = Some((way, l.lru));
+                }
+            }
+        }
+        best.map(|(w, _)| w)
+    }
+
+    /// Global (Fit-)LRU placement for the NVM-unaware BH/BH_CP policies:
+    /// the victim is the LRU block among all frames — SRAM or NVM — able to
+    /// hold the incoming block.
+    fn place_global(&mut self, now: u64, set: usize, line: LineState) {
+        let ecb = if self.policy.uses_compression() {
+            line.ecb_size()
+        } else {
+            hllc_nvm::FRAME_BYTES
+        };
+
+        let mut chosen: Option<(Part, usize)> = None;
+        let mut chosen_stamp = u64::MAX;
+        let mut empty: Option<(Part, usize)> = None;
+        for way in 0..self.sram_ways {
+            match self.line(Part::Sram, set, way) {
+                None => {
+                    empty = Some((Part::Sram, way));
+                    break;
+                }
+                Some(l) if l.lru < chosen_stamp => {
+                    chosen_stamp = l.lru;
+                    chosen = Some((Part::Sram, way));
+                }
+                Some(_) => {}
+            }
+        }
+        if empty.is_none() {
+            let array = self.array.as_ref();
+            for way in 0..self.nvm_ways {
+                if !array.is_some_and(|a| a.fits(set, way, ecb)) {
+                    continue;
+                }
+                match self.line(Part::Nvm, set, way) {
+                    None => {
+                        empty = Some((Part::Nvm, way));
+                        break;
+                    }
+                    Some(l) if l.lru < chosen_stamp => {
+                        chosen_stamp = l.lru;
+                        chosen = Some((Part::Nvm, way));
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+
+        match empty.or(chosen) {
+            Some((Part::Sram, way)) => {
+                if let Some(old) = self.take(Part::Sram, set, way) {
+                    self.retire(old);
+                }
+                self.commit_sram(set, way, line);
+            }
+            Some((Part::Nvm, way)) => {
+                if let Some(old) = self.take(Part::Nvm, set, way) {
+                    self.retire(old);
+                }
+                self.commit_nvm(now, set, way, line, false);
+            }
+            None => {
+                self.stats.bypasses += 1;
+                self.retire(line);
+            }
+        }
+    }
+}
+
+impl LlcPort for HybridLlc {
+    fn request(&mut self, now: u64, block: u64, req: LlcReq) -> LlcResponse {
+        self.maybe_epoch(now);
+        match req {
+            LlcReq::GetS => self.stats.gets += 1,
+            LlcReq::GetX => self.stats.getx += 1,
+        }
+        let set = set_index(block, self.sets);
+        let Some((part, way)) = self.find(set, block) else {
+            self.stats.misses += 1;
+            return LlcResponse::miss();
+        };
+
+        self.stats.hits += 1;
+        match part {
+            Part::Sram => self.stats.sram_hits += 1,
+            Part::Nvm => self.stats.nvm_hits += 1,
+        }
+        if let Some(d) = &mut self.dueling {
+            d.record_hit(set);
+        }
+
+        let stamp = self.next_stamp();
+        let line_snapshot = {
+            let line = self.line_mut(part, set, way).as_mut().expect("hit line");
+            line.hits += 1;
+            *line
+        };
+        let tap_count = match self.policy {
+            Policy::Tap { .. } => self.tap_observe(block, &line_snapshot, req),
+            _ => 0,
+        };
+        let reuse = self.classify_hit(&line_snapshot, req, tap_count);
+        let compressed =
+            part == Part::Nvm && self.policy.uses_compression() && line_snapshot.cb_size < 64;
+        let extra_cycles = if part == Part::Nvm && self.nvm_write_cycles > 0 {
+            self.clock = self.clock.max(now);
+            // Wait for the in-flight write; capped at one write duration so
+            // per-core clock skew cannot masquerade as queueing.
+            let wait = (self.bank_busy_until[self.bank_of(set)].saturating_sub(self.clock) as u32)
+                .min(self.nvm_write_cycles);
+            self.stats.write_stall_cycles += u64::from(wait);
+            wait
+        } else {
+            0
+        };
+
+        match req {
+            LlcReq::GetX => {
+                // Invalidate-on-hit: ownership moves to the private levels.
+                self.take(part, set, way);
+            }
+            LlcReq::GetS => {
+                let line = self.line_mut(part, set, way).as_mut().unwrap();
+                line.lru = stamp;
+                line.reuse = reuse;
+            }
+        }
+
+        LlcResponse { hit: true, nvm: part == Part::Nvm, compressed, reuse, extra_cycles }
+    }
+
+    fn insert(
+        &mut self,
+        now: u64,
+        block: u64,
+        dirty: bool,
+        reuse: ReuseClass,
+        data: &mut dyn DataModel,
+    ) {
+        self.maybe_epoch(now);
+        let set = set_index(block, self.sets);
+
+        if let Some((part, way)) = self.find(set, block) {
+            if !dirty {
+                // Clean copy already resident: refresh LRU only ("written if
+                // it was not there", §III-A).
+                let stamp = self.next_stamp();
+                self.line_mut(part, set, way).as_mut().unwrap().lru = stamp;
+                return;
+            }
+            // Stale resident copy vs dirty incoming data: replace it.
+            let _ = self.take(part, set, way);
+        }
+
+        let cb_size = if self.policy.uses_compression() {
+            data.compressed_size(block)
+        } else {
+            64
+        };
+        let stamp = self.next_stamp();
+        let line = LineState::new(block, dirty, reuse, cb_size, stamp);
+
+        match self.policy {
+            Policy::Bh | Policy::BhCp => self.place_global(now, set, line),
+            _ => match self.decide_part(set, &line) {
+                Part::Nvm => self.place_nvm(now, set, line, false),
+                Part::Sram => self.place_sram(now, set, line),
+            },
+        }
+    }
+
+    fn stats(&self) -> &LlcStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = LlcStats::default();
+        if let Some(a) = &mut self.array {
+            a.reset_write_stats();
+        }
+    }
+}

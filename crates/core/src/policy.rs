@@ -1,0 +1,152 @@
+//! The insertion-policy taxonomy (Table III).
+
+use hllc_nvm::DisableGranularity;
+
+/// An LLC insertion policy.
+///
+/// Construction helpers provide the paper's default parameters; see the
+/// crate docs for the Table III taxonomy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Policy {
+    /// Baseline hybrid: one global LRU list over all 16 ways, NVM-unaware,
+    /// blocks stored uncompressed, frame-granularity disabling.
+    Bh,
+    /// Baseline hybrid + compression: global *Fit-LRU* over all ways,
+    /// byte-granularity disabling, still NVM-unaware.
+    BhCp,
+    /// Naive compression-aware insertion: small blocks (compressed size
+    /// `<= cp_th`) go to NVM, big blocks to SRAM; local LRU in each part.
+    Ca {
+        /// Compression threshold in bytes.
+        cp_th: u8,
+    },
+    /// Compression + read/write-reuse aware insertion (Table II): read-reuse
+    /// blocks to NVM, write-reuse blocks to SRAM, no-reuse blocks by size;
+    /// read-reuse SRAM victims migrate to NVM.
+    CaRwr {
+        /// Compression threshold in bytes.
+        cp_th: u8,
+    },
+    /// CA_RWR with the compression threshold tuned at runtime by Set
+    /// Dueling (§IV-C), optionally trading hits for NVM writes with the
+    /// rule-based mechanism of §IV-D.
+    CpSd {
+        /// Maximum percentage of hits the rule may sacrifice (`Th`);
+        /// 0 selects the pure max-hits winner.
+        th: f64,
+        /// Minimum percentage of NVM bytes-written reduction required to
+        /// accept a hit loss (`Tw`).
+        tw: f64,
+    },
+    /// LHybrid (Cheng et al.): loop-blocks (clean blocks reused in the LLC)
+    /// go to NVM; SRAM replacement migrates the most-recent loop-block to
+    /// NVM. Frame-granularity disabling, no compression.
+    LHybrid,
+    /// TAP (Luo et al.): only clean blocks that have hit at least
+    /// `hit_threshold` times are inserted into NVM. More conservative than
+    /// LHybrid. Frame-granularity disabling, no compression.
+    Tap {
+        /// LLC hits required before a block counts as thrashing-resistant.
+        hit_threshold: u32,
+    },
+}
+
+impl Policy {
+    /// CP_SD with the paper's default pure-performance winner rule.
+    pub fn cp_sd() -> Policy {
+        Policy::CpSd { th: 0.0, tw: 5.0 }
+    }
+
+    /// CP_SD_Th with the given hit-sacrifice threshold (`Tw = 5 %`,
+    /// as in the paper's evaluation).
+    pub fn cp_sd_th(th: f64) -> Policy {
+        Policy::CpSd { th, tw: 5.0 }
+    }
+
+    /// TAP with the default `H_thresh = 3`: a block must prove reuse more
+    /// than once (unlike LHybrid's single loop-block hit) before entering
+    /// the NVM part.
+    pub fn tap() -> Policy {
+        Policy::Tap { hit_threshold: 3 }
+    }
+
+    /// True if blocks are stored compressed in the NVM part.
+    pub fn uses_compression(&self) -> bool {
+        matches!(
+            self,
+            Policy::BhCp | Policy::Ca { .. } | Policy::CaRwr { .. } | Policy::CpSd { .. }
+        )
+    }
+
+    /// Hard-fault disabling granularity (Table III): compression-enabled
+    /// policies disable at byte level, the rest at frame level.
+    pub fn granularity(&self) -> DisableGranularity {
+        if self.uses_compression() {
+            DisableGranularity::Byte
+        } else {
+            DisableGranularity::Frame
+        }
+    }
+
+    /// True if the policy distinguishes the NVM part when steering blocks.
+    pub fn is_nvm_aware(&self) -> bool {
+        !matches!(self, Policy::Bh | Policy::BhCp)
+    }
+
+    /// True if the policy tracks read/write-reuse (or loop/thrashing) tags.
+    pub fn uses_reuse(&self) -> bool {
+        matches!(
+            self,
+            Policy::CaRwr { .. } | Policy::CpSd { .. } | Policy::LHybrid | Policy::Tap { .. }
+        )
+    }
+
+    /// Short display name matching the paper's figures.
+    pub fn name(&self) -> String {
+        match self {
+            Policy::Bh => "BH".into(),
+            Policy::BhCp => "BH_CP".into(),
+            Policy::Ca { cp_th } => format!("CA(cpth={cp_th})"),
+            Policy::CaRwr { cp_th } => format!("CA_RWR(cpth={cp_th})"),
+            Policy::CpSd { th, .. } if *th == 0.0 => "CP_SD".into(),
+            Policy::CpSd { th, .. } => format!("CP_SD_Th{th:.0}"),
+            Policy::LHybrid => "LHybrid".into(),
+            Policy::Tap { .. } => "TAP".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_taxonomy() {
+        assert!(!Policy::Bh.uses_compression());
+        assert!(!Policy::Bh.is_nvm_aware());
+        assert_eq!(Policy::Bh.granularity(), DisableGranularity::Frame);
+
+        assert!(Policy::BhCp.uses_compression());
+        assert!(!Policy::BhCp.is_nvm_aware());
+        assert_eq!(Policy::BhCp.granularity(), DisableGranularity::Byte);
+
+        assert!(Policy::LHybrid.is_nvm_aware());
+        assert_eq!(Policy::LHybrid.granularity(), DisableGranularity::Frame);
+
+        let sd = Policy::cp_sd();
+        assert!(sd.uses_compression() && sd.is_nvm_aware() && sd.uses_reuse());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Policy::cp_sd().name(), "CP_SD");
+        assert_eq!(Policy::cp_sd_th(4.0).name(), "CP_SD_Th4");
+        assert_eq!(Policy::Ca { cp_th: 58 }.name(), "CA(cpth=58)");
+    }
+
+    #[test]
+    fn defaults() {
+        assert_eq!(Policy::tap(), Policy::Tap { hit_threshold: 3 });
+        assert_eq!(Policy::cp_sd(), Policy::CpSd { th: 0.0, tw: 5.0 });
+    }
+}

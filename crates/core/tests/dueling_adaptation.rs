@@ -1,0 +1,75 @@
+//! Set Dueling adaptation: the follower CP_th must track the workload's
+//! compressibility — the mechanism behind Figures 6 and 8.
+
+use hllc_core::{HybridConfig, HybridLlc, Policy};
+use hllc_sim::{ConstSizeData, LlcPort, LlcReq, ReuseClass};
+
+const SETS: usize = 64;
+const EPOCH: u64 = 4_000;
+
+fn llc() -> HybridLlc {
+    HybridLlc::new(
+        &HybridConfig::new(SETS, 4, 12, Policy::cp_sd()).with_epoch_cycles(EPOCH),
+    )
+}
+
+/// Drives a working set of `blocks_per_set` same-size blocks round-robin
+/// through every set for `rounds` passes, returning the final follower
+/// CP_th. Blocks are always reloaded on a miss (insert-after-miss), like a
+/// loop that keeps revisiting its arrays.
+fn run_uniform(llc: &mut HybridLlc, size: u8, blocks_per_set: u64, rounds: u64, t0: u64, tag: u64) -> u64 {
+    let mut data = ConstSizeData::new(size);
+    let mut now = t0;
+    for _ in 0..rounds {
+        for i in 0..blocks_per_set {
+            for set in 0..SETS as u64 {
+                // Distinct block per (set, i), mapping to `set`.
+                let block = set + (i + tag * 64) * SETS as u64 * 16;
+                now += 1;
+                if !llc.request(now, block, LlcReq::GetS).hit {
+                    llc.insert(now, block, false, ReuseClass::None, &mut data);
+                }
+            }
+        }
+    }
+    now
+}
+
+#[test]
+fn follower_threshold_tracks_block_size() {
+    // Working set of 12 blocks/set sized 50 B: only candidates with
+    // CP_th >= 51 can keep them all in the 12 NVM ways; smaller thresholds
+    // confine them to 4 SRAM ways and thrash. The winner must be >= 51.
+    let mut c = llc();
+    run_uniform(&mut c, 50, 12, 60, 0, 0);
+    let cp_th = c.dueling().unwrap().current_cp_th();
+    assert!(cp_th >= 51, "expected winner >= 51 for 50-byte blocks, got {cp_th}");
+}
+
+#[test]
+fn follower_threshold_tracks_small_blocks_too() {
+    // 20-byte blocks fit the NVM part under every candidate; all candidates
+    // perform equally, so any winner is fine — but after a *phase change*
+    // to 60-byte blocks, only CP_th = 64 keeps them in NVM.
+    let mut c = llc();
+    let now = run_uniform(&mut c, 20, 12, 30, 0, 0);
+    let _ = c.dueling().unwrap().current_cp_th();
+    // The phase change brings a *new* 60-byte working set.
+    run_uniform(&mut c, 60, 12, 60, now, 1);
+    let cp_th = c.dueling().unwrap().current_cp_th();
+    assert_eq!(cp_th, 64, "phase change to 60-byte blocks must drive CP_th to 64");
+}
+
+#[test]
+fn epoch_history_reflects_the_workload() {
+    let mut c = llc();
+    run_uniform(&mut c, 50, 12, 60, 0, 0);
+    let history = c.dueling().unwrap().history();
+    assert!(history.len() > 5, "expected several epochs, got {}", history.len());
+    // Across the converged tail, large-CP_th candidates collect more hits
+    // than the small ones.
+    let tail = &history[history.len() / 2..];
+    let small: u64 = tail.iter().map(|e| e.hits[0] + e.hits[1]).sum();
+    let large: u64 = tail.iter().map(|e| e.hits[4] + e.hits[5]).sum();
+    assert!(large > small, "large CP_th candidates must win: {large} !> {small}");
+}

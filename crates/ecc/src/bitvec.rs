@@ -1,0 +1,172 @@
+//! A compact fixed-length bit vector used by the SECDED codec.
+
+use std::fmt;
+
+/// A fixed-length vector of bits, stored LSB-first in 64-bit words.
+///
+/// # Example
+///
+/// ```
+/// use hllc_ecc::BitVec;
+///
+/// let mut v = BitVec::zeros(10);
+/// v.set(3, true);
+/// assert!(v.get(3));
+/// assert_eq!(v.count_ones(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates a bit vector of `len` zero bits.
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates a bit vector from `len` bits of `bytes` (LSB-first within
+    /// each byte, bytes in order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` holds fewer than `len` bits.
+    pub fn from_bytes(bytes: &[u8], len: usize) -> Self {
+        assert!(bytes.len() * 8 >= len, "byte slice too short for {len} bits");
+        let mut v = BitVec::zeros(len);
+        for i in 0..len {
+            if bytes[i / 8] >> (i % 8) & 1 == 1 {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Serializes to bytes (LSB-first), zero-padded to whole bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.len.div_ceil(8)];
+        for i in 0..self.len {
+            if self.get(i) {
+                out[i / 8] |= 1 << (i % 8);
+            }
+        }
+        out
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the vector has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        if value {
+            self.words[i / 64] |= 1 << (i % 64);
+        } else {
+            self.words[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Inverts bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] ^= 1 << (i % 64);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Iterator over the indices of set bits.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.get(i))
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[{}; ", self.len)?;
+        for i in 0..self.len.min(80) {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        if self.len > 80 {
+            write!(f, "…")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_flip() {
+        let mut v = BitVec::zeros(130);
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert_eq!(v.count_ones(), 3);
+        v.flip(64);
+        assert!(!v.get(64));
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let bytes = [0xDE, 0xAD, 0xBE, 0xEF];
+        let v = BitVec::from_bytes(&bytes, 32);
+        assert_eq!(v.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn partial_byte() {
+        let v = BitVec::from_bytes(&[0xFF], 5);
+        assert_eq!(v.count_ones(), 5);
+        assert_eq!(v.to_bytes(), vec![0b0001_1111]);
+    }
+
+    #[test]
+    fn iter_ones_order() {
+        let mut v = BitVec::zeros(70);
+        v.set(3, true);
+        v.set(69, true);
+        assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![3, 69]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        BitVec::zeros(8).get(8);
+    }
+}

@@ -1,0 +1,291 @@
+//! Generic Hamming SECDED encoder/decoder.
+//!
+//! Classic extended-Hamming construction: check bits sit at power-of-two
+//! positions 1, 2, 4, … of the Hamming codeword, data bits fill the rest,
+//! and one extra overall-parity bit extends single-error correction with
+//! double-error detection.
+
+use crate::bitvec::BitVec;
+
+/// Outcome of decoding a (possibly corrupted) SECDED codeword.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Decoded {
+    /// No error detected; the payload follows.
+    Clean {
+        /// Recovered payload bits.
+        data: BitVec,
+    },
+    /// A single-bit error was corrected.
+    Corrected {
+        /// Position of the flipped bit within the stored codeword
+        /// (0 = overall parity bit, 1.. = Hamming positions).
+        position: usize,
+        /// Recovered payload bits.
+        data: BitVec,
+    },
+    /// An uncorrectable double-bit error was detected.
+    DoubleError,
+}
+
+/// A Hamming SECDED code for a fixed payload width.
+///
+/// For `k` payload bits the code uses `r` Hamming check bits with
+/// `2^r >= k + r + 1`, plus one overall parity bit: codeword length
+/// `k + r + 1`.
+///
+/// # Example
+///
+/// ```
+/// use hllc_ecc::SecdedCode;
+///
+/// // The paper's NVM data-array code: (527, 516).
+/// let code = SecdedCode::new(516);
+/// assert_eq!(code.codeword_bits(), 527);
+/// assert_eq!(code.check_bits(), 11);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SecdedCode {
+    data_bits: usize,
+    hamming_checks: usize,
+}
+
+impl SecdedCode {
+    /// Creates a SECDED code for `data_bits` payload bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_bits` is zero.
+    pub fn new(data_bits: usize) -> Self {
+        assert!(data_bits > 0, "payload must have at least one bit");
+        let mut r = 0usize;
+        while (1usize << r) < data_bits + r + 1 {
+            r += 1;
+        }
+        SecdedCode {
+            data_bits,
+            hamming_checks: r,
+        }
+    }
+
+    /// Payload width in bits.
+    pub fn data_bits(&self) -> usize {
+        self.data_bits
+    }
+
+    /// Total check bits (Hamming checks + overall parity).
+    pub fn check_bits(&self) -> usize {
+        self.hamming_checks + 1
+    }
+
+    /// Codeword length in bits.
+    pub fn codeword_bits(&self) -> usize {
+        self.data_bits + self.check_bits()
+    }
+
+    /// Encodes `data` into a codeword.
+    ///
+    /// Codeword layout: bit 0 is the overall parity; bits 1.. are the
+    /// Hamming codeword in position order (check bits at powers of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.data_bits()`.
+    pub fn encode(&self, data: &BitVec) -> BitVec {
+        assert_eq!(data.len(), self.data_bits, "payload width mismatch");
+        let n = self.codeword_bits();
+        let mut word = BitVec::zeros(n);
+
+        // Place data bits at non-power-of-two Hamming positions.
+        let mut di = 0;
+        for pos in 1..n {
+            if !pos.is_power_of_two() {
+                word.set(pos, data.get(di));
+                di += 1;
+            }
+        }
+        debug_assert_eq!(di, self.data_bits);
+
+        // Compute Hamming check bits.
+        for c in 0..self.hamming_checks {
+            let mask = 1usize << c;
+            let mut parity = false;
+            for pos in 1..n {
+                if pos & mask != 0 && !pos.is_power_of_two() && word.get(pos) {
+                    parity = !parity;
+                }
+            }
+            word.set(mask, parity);
+        }
+
+        // Overall parity covers everything (bit 0 chosen to make total even).
+        let ones = word.count_ones();
+        word.set(0, ones % 2 == 1);
+        word
+    }
+
+    /// Decodes a codeword, correcting single-bit errors and detecting
+    /// double-bit errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word.len() != self.codeword_bits()`.
+    pub fn decode(&self, word: &BitVec) -> Decoded {
+        assert_eq!(word.len(), self.codeword_bits(), "codeword width mismatch");
+        let n = self.codeword_bits();
+
+        // Syndrome: XOR of the positions of all set bits in Hamming space.
+        let mut syndrome = 0usize;
+        for pos in 1..n {
+            if word.get(pos) {
+                syndrome ^= pos;
+            }
+        }
+        let overall_even = word.count_ones().is_multiple_of(2);
+
+        if syndrome == 0 && overall_even {
+            return Decoded::Clean {
+                data: self.extract(word),
+            };
+        }
+        if !overall_even {
+            // Odd weight error (assume single): correct it.
+            let mut fixed = word.clone();
+            let position = if syndrome == 0 {
+                0 // the overall parity bit itself
+            } else if syndrome < n {
+                syndrome
+            } else {
+                // Syndrome points outside the word: treat as uncorrectable.
+                return Decoded::DoubleError;
+            };
+            fixed.flip(position);
+            return Decoded::Corrected {
+                position,
+                data: self.extract(&fixed),
+            };
+        }
+        // Even weight error with non-zero syndrome: double error.
+        Decoded::DoubleError
+    }
+
+    /// Pulls the payload bits back out of a (corrected) codeword.
+    fn extract(&self, word: &BitVec) -> BitVec {
+        let mut data = BitVec::zeros(self.data_bits);
+        let mut di = 0;
+        for pos in 1..self.codeword_bits() {
+            if !pos.is_power_of_two() {
+                data.set(di, word.get(pos));
+                di += 1;
+            }
+        }
+        data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(bits: usize, seed: u64) -> BitVec {
+        let mut v = BitVec::zeros(bits);
+        let mut x = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        for i in 0..bits {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if x >> 63 == 1 {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn parameters_527_516() {
+        let c = SecdedCode::new(516);
+        assert_eq!(c.check_bits(), 11);
+        assert_eq!(c.codeword_bits(), 527);
+    }
+
+    #[test]
+    fn classic_parameters() {
+        // (8,4) extended Hamming and (72,64) SECDED used in DRAM.
+        assert_eq!(SecdedCode::new(4).codeword_bits(), 8);
+        assert_eq!(SecdedCode::new(64).codeword_bits(), 72);
+    }
+
+    #[test]
+    fn clean_round_trip() {
+        for bits in [1, 4, 11, 64, 516] {
+            let c = SecdedCode::new(bits);
+            for seed in 0..4 {
+                let data = pattern(bits, seed);
+                assert_eq!(
+                    c.decode(&c.encode(&data)),
+                    Decoded::Clean { data: data.clone() },
+                    "bits={bits} seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_bit_error_small() {
+        let c = SecdedCode::new(16);
+        let data = pattern(16, 7);
+        let word = c.encode(&data);
+        for i in 0..word.len() {
+            let mut corrupted = word.clone();
+            corrupted.flip(i);
+            match c.decode(&corrupted) {
+                Decoded::Corrected { position, data: d } => {
+                    assert_eq!(position, i);
+                    assert_eq!(d, data);
+                }
+                other => panic!("bit {i}: expected correction, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrects_sampled_single_bit_errors_527() {
+        let c = SecdedCode::new(516);
+        let data = pattern(516, 3);
+        let word = c.encode(&data);
+        for i in (0..527).step_by(13) {
+            let mut corrupted = word.clone();
+            corrupted.flip(i);
+            match c.decode(&corrupted) {
+                Decoded::Corrected { position, data: d } => {
+                    assert_eq!(position, i);
+                    assert_eq!(d, data);
+                }
+                other => panic!("bit {i}: expected correction, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn detects_double_errors() {
+        let c = SecdedCode::new(32);
+        let data = pattern(32, 11);
+        let word = c.encode(&data);
+        let n = word.len();
+        for i in 0..n {
+            for j in (i + 1..n).step_by(5) {
+                let mut corrupted = word.clone();
+                corrupted.flip(i);
+                corrupted.flip(j);
+                assert_eq!(
+                    c.decode(&corrupted),
+                    Decoded::DoubleError,
+                    "double error at ({i},{j}) not detected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "payload width mismatch")]
+    fn encode_rejects_wrong_width() {
+        SecdedCode::new(8).encode(&BitVec::zeros(9));
+    }
+}

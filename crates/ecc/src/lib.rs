@@ -1,0 +1,35 @@
+//! Hamming SECDED error-correcting codes.
+//!
+//! The hybrid LLC of *Compression-Aware and Performance-Efficient Insertion
+//! Policies for Long-Lasting Hybrid LLCs* (HPCA 2023) assumes Hamming SECDED
+//! protection in all arrays (§III-B). The NVM data array uses the
+//! **(527, 516)** code: 516 payload bits (512 data + 4 CE bits) protected by
+//! 11 check bits, able to correct any single hard fault and detect double
+//! faults — the detection signal is what drives byte disabling.
+//!
+//! This crate provides a generic single-error-correcting,
+//! double-error-detecting codec for arbitrary payload widths, plus the
+//! (527,516) specialization.
+//!
+//! # Example
+//!
+//! ```
+//! use hllc_ecc::{BitVec, Decoded, SecdedCode};
+//!
+//! let code = SecdedCode::new(16);
+//! let data = BitVec::from_bytes(&[0xAB, 0xCD], 16);
+//! let mut word = code.encode(&data);
+//! word.flip(5); // single bit error
+//! match code.decode(&word) {
+//!     Decoded::Corrected { data: d, .. } => assert_eq!(d, data),
+//!     other => panic!("expected correction, got {other:?}"),
+//! }
+//! ```
+
+mod bitvec;
+mod hamming;
+mod secded;
+
+pub use bitvec::BitVec;
+pub use hamming::{Decoded, SecdedCode};
+pub use secded::{FrameCodec, FRAME_CODE_BITS, FRAME_DATA_BITS, FRAME_PAYLOAD_BITS};

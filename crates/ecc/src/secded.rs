@@ -1,0 +1,251 @@
+//! The (527, 516) frame codec used by the hybrid LLC NVM data array.
+//!
+//! §III-B1: the extended compressed block (ECB) is formed from the 4-bit CE
+//! and a zero-padded 512-bit data vector; the 11-bit SECDED code is computed
+//! over those 516 bits and stored with them — 527 bits per frame code word.
+
+use crate::bitvec::BitVec;
+use crate::hamming::{Decoded, SecdedCode};
+
+/// Payload bits protected per NVM frame: 512 data bits + 4 CE bits.
+pub const FRAME_PAYLOAD_BITS: usize = 516;
+/// Data bits within the payload (one 64-byte block, zero-padded if
+/// compressed).
+pub const FRAME_DATA_BITS: usize = 512;
+/// Total code-word bits per frame: payload + 11 SECDED bits.
+pub const FRAME_CODE_BITS: usize = 527;
+
+/// Encoder/decoder for NVM frame code words.
+///
+/// # Example
+///
+/// ```
+/// use hllc_ecc::{Decoded, FrameCodec};
+///
+/// let codec = FrameCodec::new();
+/// let data = [7u8; 64];
+/// let word = codec.encode(0x3, &data);
+/// match codec.decode(&word) {
+///     Decoded::Clean { data: payload } => {
+///         let (ce, bytes) = FrameCodec::split_payload(&payload);
+///         assert_eq!(ce, 0x3);
+///         assert_eq!(bytes, data);
+///     }
+///     other => panic!("unexpected {other:?}"),
+/// }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrameCodec {
+    code: SecdedCode,
+}
+
+impl FrameCodec {
+    /// Creates the (527, 516) frame codec.
+    pub fn new() -> Self {
+        let code = SecdedCode::new(FRAME_PAYLOAD_BITS);
+        debug_assert_eq!(code.codeword_bits(), FRAME_CODE_BITS);
+        FrameCodec { code }
+    }
+
+    /// Encodes a 4-bit CE and 64 data bytes (a compressed block is
+    /// zero-padded by the caller) into a 527-bit code word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ce >= 16`.
+    pub fn encode(&self, ce: u8, data: &[u8; 64]) -> BitVec {
+        assert!(ce < 16, "CE is a 4-bit field");
+        let mut payload = BitVec::zeros(FRAME_PAYLOAD_BITS);
+        for b in 0..4 {
+            payload.set(b, ce >> b & 1 == 1);
+        }
+        for i in 0..FRAME_DATA_BITS {
+            if data[i / 8] >> (i % 8) & 1 == 1 {
+                payload.set(4 + i, true);
+            }
+        }
+        self.code.encode(&payload)
+    }
+
+    /// Decodes a frame code word; see [`SecdedCode::decode`].
+    pub fn decode(&self, word: &BitVec) -> Decoded {
+        self.code.decode(word)
+    }
+
+    /// Packs a 527-bit code word into the compact extended compressed block
+    /// (ECB) actually stored in a frame: the 11 check bits, the 4 CE bits,
+    /// and the `cb_size`-byte compressed payload — the zero padding that
+    /// was SECDED-encoded is *implicit* and not stored. The result is
+    /// exactly `cb_size + 2` bytes (§III-B1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word length is wrong or `cb_size > 64`.
+    pub fn pack_ecb(&self, word: &BitVec, cb_size: u8) -> Vec<u8> {
+        assert_eq!(word.len(), FRAME_CODE_BITS, "frame code word expected");
+        assert!(cb_size <= 64, "compressed blocks are at most 64 bytes");
+        let stored = Self::stored_positions(cb_size);
+        let mut out = vec![0u8; cb_size as usize + 2];
+        for (i, pos) in stored.enumerate() {
+            if word.get(pos) {
+                out[i / 8] |= 1 << (i % 8);
+            }
+        }
+        out
+    }
+
+    /// Reconstructs the full 527-bit code word from a packed ECB, filling
+    /// the implicit zero padding back in. Inverse of [`FrameCodec::pack_ecb`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is shorter than `cb_size + 2` or `cb_size > 64`.
+    pub fn unpack_ecb(&self, bytes: &[u8], cb_size: u8) -> BitVec {
+        assert!(cb_size <= 64, "compressed blocks are at most 64 bytes");
+        assert!(
+            bytes.len() >= cb_size as usize + 2,
+            "packed ECB must hold {} bytes",
+            cb_size as usize + 2
+        );
+        let mut word = BitVec::zeros(FRAME_CODE_BITS);
+        for (i, pos) in Self::stored_positions(cb_size).enumerate() {
+            if bytes[i / 8] >> (i % 8) & 1 == 1 {
+                word.set(pos, true);
+            }
+        }
+        word
+    }
+
+    /// Code-word bit positions that are physically stored for a `cb_size`-
+    /// byte compressed block: the overall parity (0), the Hamming check
+    /// bits (powers of two), and the first `4 + 8·cb_size` data positions
+    /// (CE + compressed payload).
+    fn stored_positions(cb_size: u8) -> impl Iterator<Item = usize> {
+        let payload_bits = 4 + 8 * cb_size as usize;
+        let mut data_seen = 0usize;
+        (0..FRAME_CODE_BITS).filter(move |&pos| {
+            if pos == 0 || pos.is_power_of_two() {
+                true
+            } else {
+                data_seen += 1;
+                data_seen <= payload_bits
+            }
+        })
+    }
+
+    /// Splits a decoded 516-bit payload back into (CE, 64 data bytes).
+    pub fn split_payload(payload: &BitVec) -> (u8, [u8; 64]) {
+        assert_eq!(payload.len(), FRAME_PAYLOAD_BITS);
+        let mut ce = 0u8;
+        for b in 0..4 {
+            if payload.get(b) {
+                ce |= 1 << b;
+            }
+        }
+        let mut data = [0u8; 64];
+        for i in 0..FRAME_DATA_BITS {
+            if payload.get(4 + i) {
+                data[i / 8] |= 1 << (i % 8);
+            }
+        }
+        (ce, data)
+    }
+}
+
+impl Default for FrameCodec {
+    fn default() -> Self {
+        FrameCodec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let codec = FrameCodec::new();
+        let mut data = [0u8; 64];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(37).wrapping_add(11);
+        }
+        let word = codec.encode(0xA, &data);
+        assert_eq!(word.len(), FRAME_CODE_BITS);
+        match codec.decode(&word) {
+            Decoded::Clean { data: payload } => {
+                let (ce, bytes) = FrameCodec::split_payload(&payload);
+                assert_eq!(ce, 0xA);
+                assert_eq!(bytes, data);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_corrects_single_fault() {
+        let codec = FrameCodec::new();
+        let data = [0x5Au8; 64];
+        let mut word = codec.encode(0x1, &data);
+        word.flip(400);
+        match codec.decode(&word) {
+            Decoded::Corrected { position, data: payload } => {
+                assert_eq!(position, 400);
+                let (ce, bytes) = FrameCodec::split_payload(&payload);
+                assert_eq!((ce, bytes), (0x1, data));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_detects_double_fault() {
+        let codec = FrameCodec::new();
+        let mut word = codec.encode(0, &[0u8; 64]);
+        word.flip(10);
+        word.flip(300);
+        assert_eq!(codec.decode(&word), Decoded::DoubleError);
+    }
+
+    #[test]
+    #[should_panic(expected = "4-bit")]
+    fn rejects_wide_ce() {
+        FrameCodec::new().encode(16, &[0u8; 64]);
+    }
+
+    #[test]
+    fn ecb_pack_unpack_round_trip() {
+        let codec = FrameCodec::new();
+        for cb_size in [1u8, 8, 22, 37, 57, 64] {
+            // Compressed payload of cb_size bytes, zero padding above.
+            let mut data = [0u8; 64];
+            for (i, b) in data.iter_mut().take(cb_size as usize).enumerate() {
+                *b = (i as u8).wrapping_mul(73).wrapping_add(5);
+            }
+            let word = codec.encode(0x9, &data);
+            let packed = codec.pack_ecb(&word, cb_size);
+            assert_eq!(packed.len(), cb_size as usize + 2, "ECB = CB + 2 bytes");
+            let unpacked = codec.unpack_ecb(&packed, cb_size);
+            assert_eq!(unpacked, word, "cb_size={cb_size}");
+        }
+    }
+
+    #[test]
+    fn packed_ecb_survives_single_bit_error() {
+        let codec = FrameCodec::new();
+        let cb_size = 22u8;
+        let mut data = [0u8; 64];
+        data[..22].copy_from_slice(&[0x5A; 22]);
+        let word = codec.encode(0x3, &data);
+        let mut packed = codec.pack_ecb(&word, cb_size);
+        packed[7] ^= 0x10; // flip one stored bit
+        let rebuilt = codec.unpack_ecb(&packed, cb_size);
+        match codec.decode(&rebuilt) {
+            Decoded::Corrected { data: payload, .. } => {
+                let (ce, bytes) = FrameCodec::split_payload(&payload);
+                assert_eq!(ce, 0x3);
+                assert_eq!(&bytes[..22], &[0x5A; 22]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the SECDED codec.
+
+use hllc_ecc::{BitVec, Decoded, SecdedCode};
+use proptest::prelude::*;
+
+fn arb_payload(bits: usize) -> impl Strategy<Value = BitVec> {
+    prop::collection::vec(any::<bool>(), bits).prop_map(move |v| {
+        let mut bv = BitVec::zeros(bits);
+        for (i, b) in v.iter().enumerate() {
+            bv.set(i, *b);
+        }
+        bv
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Clean code words decode to the original payload (small width).
+    #[test]
+    fn clean_round_trip_32(data in arb_payload(32)) {
+        let c = SecdedCode::new(32);
+        prop_assert_eq!(c.decode(&c.encode(&data)), Decoded::Clean { data: data.clone() });
+    }
+
+    /// Any single flipped bit is corrected back to the original payload.
+    #[test]
+    fn single_error_corrected(data in arb_payload(32), bit in 0usize..39) {
+        let c = SecdedCode::new(32);
+        assert_eq!(c.codeword_bits(), 39);
+        let mut word = c.encode(&data);
+        word.flip(bit);
+        match c.decode(&word) {
+            Decoded::Corrected { position, data: d } => {
+                prop_assert_eq!(position, bit);
+                prop_assert_eq!(d, data);
+            }
+            other => return Err(TestCaseError::fail(format!("got {other:?}"))),
+        }
+    }
+
+    /// Any two distinct flipped bits are flagged as a double error.
+    #[test]
+    fn double_error_detected(data in arb_payload(32), a in 0usize..39, b in 0usize..39) {
+        prop_assume!(a != b);
+        let c = SecdedCode::new(32);
+        let mut word = c.encode(&data);
+        word.flip(a);
+        word.flip(b);
+        prop_assert_eq!(c.decode(&word), Decoded::DoubleError);
+    }
+
+    /// ECB packing round-trips for every compressed size and any payload,
+    /// and survives a single flipped stored bit.
+    #[test]
+    fn ecb_pack_round_trip(
+        cb_size in 1u8..=64,
+        seed in any::<u64>(),
+        ce in 0u8..16,
+        flip in prop::option::of(0usize..520),
+    ) {
+        use hllc_ecc::FrameCodec;
+        let codec = FrameCodec::new();
+        let mut data = [0u8; 64];
+        let mut x = seed | 1;
+        for b in data.iter_mut().take(cb_size as usize) {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *b = (x >> 48) as u8;
+        }
+        let word = codec.encode(ce, &data);
+        let mut packed = codec.pack_ecb(&word, cb_size);
+        prop_assert_eq!(packed.len(), cb_size as usize + 2);
+
+        if let Some(f) = flip {
+            let stored_bits = 15 + 8 * cb_size as usize;
+            let bit = f % stored_bits;
+            packed[bit / 8] ^= 1 << (bit % 8);
+        }
+        let rebuilt = codec.unpack_ecb(&packed, cb_size);
+        match codec.decode(&rebuilt) {
+            Decoded::Clean { data: payload } | Decoded::Corrected { data: payload, .. } => {
+                let (ce_back, data_back) = FrameCodec::split_payload(&payload);
+                prop_assert_eq!(ce_back, ce);
+                prop_assert_eq!(&data_back[..], &data[..]);
+            }
+            Decoded::DoubleError => {
+                return Err(TestCaseError::fail("single flip must be correctable"));
+            }
+        }
+    }
+
+    /// The full-size (527,516) frame code round-trips and corrects.
+    #[test]
+    fn frame_code_corrects(seed in any::<u64>(), bit in 0usize..527) {
+        let c = SecdedCode::new(516);
+        let mut data = BitVec::zeros(516);
+        let mut x = seed | 1;
+        for i in 0..516 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if x >> 63 == 1 { data.set(i, true); }
+        }
+        let mut word = c.encode(&data);
+        word.flip(bit);
+        match c.decode(&word) {
+            Decoded::Corrected { position, data: d } => {
+                prop_assert_eq!(position, bit);
+                prop_assert_eq!(d, data);
+            }
+            other => return Err(TestCaseError::fail(format!("got {other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! The prediction phase: advancing wall-clock time against measured write
+//! rates.
+//!
+//! Wear within a frame is spread uniformly over its live bytes — the
+//! steady-state effect of the intra-frame wear-leveling rotation, whose
+//! period (hours) is far shorter than a prediction step (weeks). Rates are
+//! held constant within a step; steps are bounded so the rate error stays
+//! small (DESIGN.md substitution #5).
+
+use hllc_nvm::{DisableGranularity, NvmArray, FRAME_BYTES};
+
+/// Read-only estimate of the capacity fraction after `dt_seconds` of wear
+/// at the given per-frame byte rates (`bytes_per_second[f]`, index
+/// `set * ways + way`).
+pub fn capacity_after(array: &NvmArray, bytes_per_second: &[f64], dt_seconds: f64) -> f64 {
+    let sets = array.sets();
+    let ways = array.ways();
+    let mut live_units = 0usize;
+    let total_units = match array.granularity() {
+        DisableGranularity::Byte => sets * ways * FRAME_BYTES,
+        DisableGranularity::Frame => sets * ways,
+    };
+    for set in 0..sets {
+        for way in 0..ways {
+            let f = set * ways + way;
+            if array.is_disabled(set, way) {
+                continue;
+            }
+            let frame = array.frame(set, way);
+            let live = frame.live_bytes();
+            if live == 0 {
+                continue;
+            }
+            let per_byte = bytes_per_second[f] * dt_seconds / live as f64;
+            match array.granularity() {
+                DisableGranularity::Byte => {
+                    live_units += frame
+                        .fault_map()
+                        .live_indices()
+                        .filter(|&b| frame.remaining_writes(b) > per_byte)
+                        .count();
+                }
+                DisableGranularity::Frame => {
+                    let survives = frame
+                        .fault_map()
+                        .live_indices()
+                        .all(|b| frame.remaining_writes(b) > per_byte);
+                    if survives {
+                        live_units += 1;
+                    }
+                }
+            }
+        }
+    }
+    live_units as f64 / total_units as f64
+}
+
+/// Chooses a prediction step: the largest `dt <= max_step_seconds` whose
+/// capacity drop does not exceed `max_capacity_drop` (bisection). Returns
+/// `max_step_seconds` if even that loses less than the allowed drop.
+///
+/// Failures are discrete, so the chosen step may overshoot the drop target
+/// by up to one disabling unit (one byte, or one frame under
+/// frame-granularity disabling) — the bound is a sampling-granularity
+/// control, not a hard invariant.
+pub fn choose_step(
+    array: &NvmArray,
+    bytes_per_second: &[f64],
+    max_capacity_drop: f64,
+    max_step_seconds: f64,
+) -> f64 {
+    let current = array.capacity_fraction();
+    if capacity_after(array, bytes_per_second, max_step_seconds) >= current - max_capacity_drop {
+        return max_step_seconds;
+    }
+    let (mut lo, mut hi) = (0.0f64, max_step_seconds);
+    for _ in 0..40 {
+        let mid = 0.5 * (lo + hi);
+        if capacity_after(array, bytes_per_second, mid) >= current - max_capacity_drop {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    // Guarantee forward progress even when a single failure exceeds the
+    // allowed drop (e.g. frame-granularity disabling of a hot frame).
+    hi.max(max_step_seconds * 1e-6)
+}
+
+/// Applies `dt_seconds` of wear to the array. Returns the number of newly
+/// failed bytes.
+pub fn advance_wear(array: &mut NvmArray, bytes_per_second: &[f64], dt_seconds: f64) -> usize {
+    let sets = array.sets();
+    let ways = array.ways();
+    let mut failures = 0;
+    for set in 0..sets {
+        for way in 0..ways {
+            let f = set * ways + way;
+            let wear = bytes_per_second[f] * dt_seconds;
+            if wear > 0.0 {
+                failures += array.apply_uniform_wear(set, way, wear).len();
+            }
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hllc_nvm::EnduranceModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn array(granularity: DisableGranularity, cv: f64) -> NvmArray {
+        let mut rng = StdRng::seed_from_u64(7);
+        NvmArray::new(8, 4, &EnduranceModel::new(1e6, cv), granularity, &mut rng)
+    }
+
+    #[test]
+    fn zero_rate_never_ages() {
+        let a = array(DisableGranularity::Byte, 0.2);
+        let rates = vec![0.0; 32];
+        assert_eq!(capacity_after(&a, &rates, 1e12), 1.0);
+    }
+
+    #[test]
+    fn capacity_after_is_monotone_in_dt() {
+        let a = array(DisableGranularity::Byte, 0.2);
+        let rates = vec![100.0; 32];
+        let mut prev = 1.0;
+        for dt in [1e3, 1e4, 1e5, 1e6] {
+            let c = capacity_after(&a, &rates, dt);
+            assert!(c <= prev, "capacity grew with time");
+            prev = c;
+        }
+        // Everything dies eventually: per-byte wear 100*1e6/66 >> 1e6*1.2.
+        assert_eq!(capacity_after(&a, &rates, 1e7), 0.0);
+    }
+
+    #[test]
+    fn advance_matches_prediction() {
+        for g in [DisableGranularity::Byte, DisableGranularity::Frame] {
+            let mut a = array(g, 0.25);
+            let rates: Vec<f64> = (0..32).map(|i| 50.0 + 10.0 * i as f64).collect();
+            let dt = 2.0e5;
+            let predicted = capacity_after(&a, &rates, dt);
+            advance_wear(&mut a, &rates, dt);
+            let actual = a.capacity_fraction();
+            assert!(
+                (predicted - actual).abs() < 1e-9,
+                "{g:?}: predicted {predicted} vs actual {actual}"
+            );
+        }
+    }
+
+    #[test]
+    fn choose_step_bounds_capacity_drop() {
+        let mut a = array(DisableGranularity::Byte, 0.2);
+        let rates = vec![1000.0; 32];
+        let dt = choose_step(&a, &rates, 0.05, 1e9);
+        let before = a.capacity_fraction();
+        advance_wear(&mut a, &rates, dt);
+        let drop = before - a.capacity_fraction();
+        // May overshoot by at most one byte of the 8×4×66-byte array.
+        let one_byte = 1.0 / (8.0 * 4.0 * 66.0);
+        assert!(drop <= 0.05 + one_byte + 1e-9, "dropped {drop}");
+        assert!(dt > 0.0);
+    }
+
+    #[test]
+    fn choose_step_returns_max_when_hardly_aging() {
+        let a = array(DisableGranularity::Byte, 0.2);
+        let rates = vec![1e-6; 32];
+        assert_eq!(choose_step(&a, &rates, 0.05, 3600.0), 3600.0);
+    }
+
+    #[test]
+    fn frame_granularity_dies_faster() {
+        // Same wear: frame disabling loses capacity at the first byte death,
+        // byte disabling only loses that byte.
+        let mut fa = array(DisableGranularity::Frame, 0.25);
+        let mut ba = array(DisableGranularity::Byte, 0.25);
+        let rates = vec![500.0; 32];
+        let dt = 1.3e5;
+        advance_wear(&mut fa, &rates, dt);
+        advance_wear(&mut ba, &rates, dt);
+        assert!(fa.capacity_fraction() <= ba.capacity_fraction());
+    }
+}

@@ -1,0 +1,351 @@
+//! The NVM portion of the LLC data array.
+
+use rand::Rng;
+
+use crate::endurance::EnduranceModel;
+use crate::fault_map::FRAME_BYTES;
+use crate::frame::{Frame, WearEvent};
+
+/// Hard-fault disabling granularity (Table III).
+///
+/// * `Frame`: the first hard fault disables the whole frame (BH, LHybrid,
+///   TAP).
+/// * `Byte`: individual bytes are disabled and the frame keeps serving
+///   compressed blocks that fit its remaining capacity (BH_CP, CP_SD).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DisableGranularity {
+    /// Whole-frame disabling: cheap metadata, coarse capacity loss.
+    Frame,
+    /// Byte-level disabling: needs the 66-bit fault map per frame.
+    Byte,
+}
+
+/// Identifies a frame by its (set, way) coordinates within the NVM part.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FrameId {
+    /// Cache set index.
+    pub set: usize,
+    /// NVM way index within the set (0-based over the NVM ways only).
+    pub way: usize,
+}
+
+/// The NVM data array: `sets × ways` frames with per-byte wear state,
+/// write accounting for the aging forecast, and a disabling policy.
+///
+/// # Example
+///
+/// ```
+/// use hllc_nvm::{DisableGranularity, EnduranceModel, NvmArray};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let arr = NvmArray::new(16, 12, &EnduranceModel::paper_default(),
+///                         DisableGranularity::Byte, &mut rng);
+/// assert_eq!(arr.capacity_fraction(), 1.0);
+/// assert_eq!(arr.effective_capacity(0, 0), 66);
+/// ```
+#[derive(Clone, Debug)]
+pub struct NvmArray {
+    sets: usize,
+    ways: usize,
+    granularity: DisableGranularity,
+    frames: Vec<Frame>,
+    disabled: Vec<bool>,
+    /// Bytes written per frame since the last `take_pending_writes`.
+    pending_byte_writes: Vec<u64>,
+    total_writes: u64,
+    total_bytes_written: u64,
+}
+
+impl NvmArray {
+    /// Builds an array of `sets × ways` frames with endurances sampled from
+    /// `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new<R: Rng + ?Sized>(
+        sets: usize,
+        ways: usize,
+        model: &EnduranceModel,
+        granularity: DisableGranularity,
+        rng: &mut R,
+    ) -> Self {
+        assert!(sets > 0 && ways > 0, "array must have at least one frame");
+        let n = sets * ways;
+        let frames = (0..n).map(|_| Frame::sampled(model, rng)).collect();
+        NvmArray {
+            sets,
+            ways,
+            granularity,
+            frames,
+            disabled: vec![false; n],
+            pending_byte_writes: vec![0; n],
+            total_writes: 0,
+            total_bytes_written: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// NVM ways per set.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// The disabling granularity this array operates under.
+    pub fn granularity(&self) -> DisableGranularity {
+        self.granularity
+    }
+
+    fn idx(&self, set: usize, way: usize) -> usize {
+        assert!(set < self.sets && way < self.ways, "frame ({set},{way}) out of range");
+        set * self.ways + way
+    }
+
+    /// Immutable access to a frame.
+    pub fn frame(&self, set: usize, way: usize) -> &Frame {
+        &self.frames[self.idx(set, way)]
+    }
+
+    /// Mutable access to a frame (fault injection, tests).
+    pub fn frame_mut(&mut self, set: usize, way: usize) -> &mut Frame {
+        let i = self.idx(set, way);
+        &mut self.frames[i]
+    }
+
+    /// Effective capacity of a frame in bytes, under the array's disabling
+    /// granularity: a frame-disabled frame has zero capacity; otherwise the
+    /// live-byte count.
+    pub fn effective_capacity(&self, set: usize, way: usize) -> usize {
+        let i = self.idx(set, way);
+        if self.disabled[i] {
+            0
+        } else {
+            match self.granularity {
+                DisableGranularity::Byte => self.frames[i].live_bytes(),
+                DisableGranularity::Frame => FRAME_BYTES,
+            }
+        }
+    }
+
+    /// True if the frame can hold an ECB of `ecb_len` bytes.
+    pub fn fits(&self, set: usize, way: usize, ecb_len: usize) -> bool {
+        ecb_len <= self.effective_capacity(set, way)
+    }
+
+    /// Accounts for one block write of `ecb_len` bytes into a frame.
+    ///
+    /// This is the fast accounting path used during simulation phases: wear
+    /// is accumulated per frame and applied later by the forecast's
+    /// prediction phase (`apply_uniform_wear`). Returns the bytes written
+    /// (for bandwidth statistics).
+    pub fn note_write(&mut self, set: usize, way: usize, ecb_len: usize) -> u64 {
+        let i = self.idx(set, way);
+        debug_assert!(!self.disabled[i], "writing a disabled frame");
+        self.pending_byte_writes[i] += ecb_len as u64;
+        self.total_writes += 1;
+        self.total_bytes_written += ecb_len as u64;
+        ecb_len as u64
+    }
+
+    /// Drains the per-frame byte-write counters accumulated since the last
+    /// call (simulation → prediction hand-off).
+    pub fn take_pending_writes(&mut self) -> Vec<u64> {
+        let mut out = vec![0; self.frames.len()];
+        std::mem::swap(&mut out, &mut self.pending_byte_writes);
+        out
+    }
+
+    /// Applies `byte_writes` of uniformly-spread wear to a frame, honouring
+    /// the disabling granularity. Returns newly failed bytes (empty for an
+    /// already-disabled frame).
+    pub fn apply_uniform_wear(&mut self, set: usize, way: usize, byte_writes: f64) -> Vec<WearEvent> {
+        let i = self.idx(set, way);
+        if self.disabled[i] {
+            return Vec::new();
+        }
+        let events = self.frames[i].apply_uniform_wear(byte_writes);
+        if !events.is_empty() && self.granularity == DisableGranularity::Frame {
+            self.disabled[i] = true;
+        }
+        if self.frames[i].is_dead() {
+            self.disabled[i] = true;
+        }
+        events
+    }
+
+    /// Administratively disables a whole frame (fault injection, tests,
+    /// and the frame-disabling policies' reaction to tag-array faults).
+    pub fn disable_frame(&mut self, set: usize, way: usize) {
+        let i = self.idx(set, way);
+        self.disabled[i] = true;
+    }
+
+    /// True if the frame has been disabled (dead frame, or frame-granularity
+    /// disabling after its first fault).
+    pub fn is_disabled(&self, set: usize, way: usize) -> bool {
+        self.disabled[self.idx(set, way)]
+    }
+
+    /// Fraction of the original capacity still usable:
+    /// live bytes / total bytes under byte disabling, live frames / total
+    /// frames under frame disabling.
+    pub fn capacity_fraction(&self) -> f64 {
+        match self.granularity {
+            DisableGranularity::Byte => {
+                let live: usize = self
+                    .frames
+                    .iter()
+                    .zip(&self.disabled)
+                    .map(|(f, &d)| if d { 0 } else { f.live_bytes() })
+                    .sum();
+                live as f64 / (self.frames.len() * FRAME_BYTES) as f64
+            }
+            DisableGranularity::Frame => {
+                let live = self.disabled.iter().filter(|&&d| !d).count();
+                live as f64 / self.frames.len() as f64
+            }
+        }
+    }
+
+    /// Artificially degrades the array until `capacity_fraction` is at most
+    /// `target` by disabling the weakest bytes uniformly at random — used by
+    /// the sensitivity harnesses (Figures 8a and 9) that study caches at
+    /// 100/90/80/…% NVM capacity.
+    pub fn degrade_to<R: Rng + ?Sized>(&mut self, target: f64, rng: &mut R) {
+        assert!((0.0..=1.0).contains(&target), "target must be a fraction");
+        match self.granularity {
+            DisableGranularity::Byte => {
+                let total = self.frames.len() * FRAME_BYTES;
+                let mut live: usize = self
+                    .frames
+                    .iter()
+                    .zip(&self.disabled)
+                    .map(|(f, &d)| if d { 0 } else { f.live_bytes() })
+                    .sum();
+                let target_live = (target * total as f64).floor() as usize;
+                while live > target_live {
+                    let i = rng.gen_range(0..self.frames.len());
+                    if self.disabled[i] || self.frames[i].is_dead() {
+                        continue;
+                    }
+                    let live_in_frame: Vec<usize> =
+                        self.frames[i].fault_map().live_indices().collect();
+                    let b = live_in_frame[rng.gen_range(0..live_in_frame.len())];
+                    self.frames[i].disable_byte(b);
+                    live -= 1;
+                    if self.frames[i].is_dead() {
+                        self.disabled[i] = true;
+                    }
+                }
+            }
+            DisableGranularity::Frame => {
+                let total = self.frames.len();
+                let mut live = self.disabled.iter().filter(|&&d| !d).count();
+                let target_live = (target * total as f64).floor() as usize;
+                while live > target_live {
+                    let i = rng.gen_range(0..total);
+                    if !self.disabled[i] {
+                        self.disabled[i] = true;
+                        live -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total block writes accounted so far.
+    pub fn total_writes(&self) -> u64 {
+        self.total_writes
+    }
+
+    /// Total bytes written so far.
+    pub fn total_bytes_written(&self) -> u64 {
+        self.total_bytes_written
+    }
+
+    /// Resets the lifetime byte/write counters (capacity state is kept).
+    pub fn reset_write_stats(&mut self) {
+        self.total_writes = 0;
+        self.total_bytes_written = 0;
+        self.pending_byte_writes.iter_mut().for_each(|w| *w = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_array(granularity: DisableGranularity) -> NvmArray {
+        let mut rng = StdRng::seed_from_u64(5);
+        NvmArray::new(4, 2, &EnduranceModel::new(100.0, 0.0), granularity, &mut rng)
+    }
+
+    #[test]
+    fn fresh_array_full_capacity() {
+        let a = small_array(DisableGranularity::Byte);
+        assert_eq!(a.capacity_fraction(), 1.0);
+        assert!(a.fits(3, 1, 66));
+        assert!(!a.fits(3, 1, 67));
+    }
+
+    #[test]
+    fn note_write_accumulates_and_drains() {
+        let mut a = small_array(DisableGranularity::Byte);
+        a.note_write(0, 0, 30);
+        a.note_write(0, 0, 36);
+        a.note_write(1, 1, 10);
+        assert_eq!(a.total_writes(), 3);
+        assert_eq!(a.total_bytes_written(), 76);
+        let pending = a.take_pending_writes();
+        assert_eq!(pending[0], 66);
+        assert_eq!(pending[3], 10);
+        assert!(a.take_pending_writes().iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn byte_disabling_degrades_gradually() {
+        let mut a = small_array(DisableGranularity::Byte);
+        // Uniform endurance 100: spreading 66*100 byte-writes kills all bytes.
+        let ev = a.apply_uniform_wear(0, 0, 66.0 * 100.0);
+        assert_eq!(ev.len(), FRAME_BYTES);
+        assert_eq!(a.effective_capacity(0, 0), 0);
+        // 1 of 8 frames dead.
+        assert!((a.capacity_fraction() - 7.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frame_disabling_kills_whole_frame_on_first_fault() {
+        let mut a = small_array(DisableGranularity::Frame);
+        // Enough wear to kill exactly the whole frame's budget on one byte
+        // share: per-byte share = 100 → every byte dies, but even one event
+        // would disable the frame.
+        let _ = a.apply_uniform_wear(2, 0, 66.0 * 100.0);
+        assert_eq!(a.effective_capacity(2, 0), 0);
+        assert!((a.capacity_fraction() - 7.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degrade_to_reaches_target() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for g in [DisableGranularity::Byte, DisableGranularity::Frame] {
+            let mut a = NvmArray::new(16, 4, &EnduranceModel::new(1e6, 0.2), g, &mut rng);
+            a.degrade_to(0.8, &mut rng);
+            assert!(a.capacity_fraction() <= 0.8);
+            assert!(a.capacity_fraction() > 0.5, "overshot: {}", a.capacity_fraction());
+        }
+    }
+
+    #[test]
+    fn disabled_frame_absorbs_no_wear() {
+        let mut a = small_array(DisableGranularity::Frame);
+        let _ = a.apply_uniform_wear(0, 0, 66.0 * 100.0);
+        assert!(a.apply_uniform_wear(0, 0, 1e12).is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! Bitcell endurance distribution (§II-A).
+
+use rand::Rng;
+
+/// Write-endurance model: each byte's endurance limit is drawn from a normal
+/// distribution with mean `μ` and coefficient of variation `cv = σ/μ`
+/// (the paper uses `μ = 10^10`, `cv ∈ {0.2, 0.25}`).
+///
+/// Samples are clamped to at least 1 write so that a pathological draw can
+/// never produce an unwritable byte.
+///
+/// # Example
+///
+/// ```
+/// use hllc_nvm::EnduranceModel;
+/// use rand::SeedableRng;
+///
+/// let model = EnduranceModel::new(1e10, 0.2);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let e = model.sample(&mut rng);
+/// assert!(e > 0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnduranceModel {
+    mean: f64,
+    cv: f64,
+}
+
+impl EnduranceModel {
+    /// Creates a model with the given mean endurance (writes) and
+    /// coefficient of variation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean <= 0` or `cv < 0`.
+    pub fn new(mean: f64, cv: f64) -> Self {
+        assert!(mean > 0.0, "mean endurance must be positive");
+        assert!(cv >= 0.0, "coefficient of variation must be non-negative");
+        EnduranceModel { mean, cv }
+    }
+
+    /// The paper's default: `μ = 10^10`, `cv = 0.2` (Table IV).
+    pub fn paper_default() -> Self {
+        EnduranceModel::new(1e10, 0.2)
+    }
+
+    /// Mean endurance in writes.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Coefficient of variation `σ/μ`.
+    pub fn cv(&self) -> f64 {
+        self.cv
+    }
+
+    /// Draws one endurance limit via the Box–Muller transform.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let sigma = self.cv * self.mean;
+        // Box–Muller: two uniforms -> one standard normal.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        let e = self.mean + sigma * z;
+        e.max(1.0) as u64
+    }
+}
+
+impl Default for EnduranceModel {
+    fn default() -> Self {
+        EnduranceModel::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_statistics_match_parameters() {
+        let model = EnduranceModel::new(1e6, 0.2);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| model.sample(&mut rng) as f64).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        let cv = var.sqrt() / mean;
+        assert!((mean - 1e6).abs() / 1e6 < 0.01, "mean {mean}");
+        assert!((cv - 0.2).abs() < 0.01, "cv {cv}");
+    }
+
+    #[test]
+    fn zero_cv_is_deterministic() {
+        let model = EnduranceModel::new(1000.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(model.sample(&mut rng), 1000);
+        }
+    }
+
+    #[test]
+    fn samples_never_zero() {
+        // Huge cv would produce negative normals; clamping keeps them >= 1.
+        let model = EnduranceModel::new(10.0, 5.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!((0..1000).all(|_| model.sample(&mut rng) >= 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_mean() {
+        EnduranceModel::new(0.0, 0.2);
+    }
+}

@@ -1,0 +1,163 @@
+//! Per-frame byte fault maps (Figure 4).
+
+use std::fmt;
+
+/// Physical bytes per NVM frame: the 527-bit (527,516) code word occupies
+/// 66 bytes, and the fault map holds one bit per byte — matching the paper's
+/// 66-bit fault-map entries.
+pub const FRAME_BYTES: usize = 66;
+
+/// A 66-bit fault map for one NVM frame: bit `i` set means byte `i` has a
+/// hard fault and is disabled.
+///
+/// # Example
+///
+/// ```
+/// use hllc_nvm::{FaultMap, FRAME_BYTES};
+///
+/// let mut fm = FaultMap::new();
+/// assert_eq!(fm.live_bytes(), FRAME_BYTES);
+/// fm.mark_faulty(10);
+/// assert!(fm.is_faulty(10));
+/// assert_eq!(fm.live_bytes(), FRAME_BYTES - 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultMap {
+    bits: u128,
+}
+
+impl FaultMap {
+    /// A fully functional frame (no faulty bytes).
+    pub fn new() -> Self {
+        FaultMap { bits: 0 }
+    }
+
+    /// Builds a fault map from an iterator of faulty byte indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= FRAME_BYTES`.
+    pub fn from_faulty<I: IntoIterator<Item = usize>>(faulty: I) -> Self {
+        let mut fm = FaultMap::new();
+        for i in faulty {
+            fm.mark_faulty(i);
+        }
+        fm
+    }
+
+    /// True if byte `i` is faulty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= FRAME_BYTES`.
+    pub fn is_faulty(&self, i: usize) -> bool {
+        assert!(i < FRAME_BYTES, "byte index {i} out of range");
+        self.bits >> i & 1 == 1
+    }
+
+    /// Marks byte `i` faulty (idempotent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= FRAME_BYTES`.
+    pub fn mark_faulty(&mut self, i: usize) {
+        assert!(i < FRAME_BYTES, "byte index {i} out of range");
+        self.bits |= 1 << i;
+    }
+
+    /// Number of non-faulty bytes — the frame's effective capacity for an
+    /// extended compressed block.
+    pub fn live_bytes(&self) -> usize {
+        FRAME_BYTES - self.bits.count_ones() as usize
+    }
+
+    /// Number of faulty bytes.
+    pub fn faulty_bytes(&self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// True if every byte is dead.
+    pub fn is_dead(&self) -> bool {
+        self.live_bytes() == 0
+    }
+
+    /// Iterator over live (non-faulty) byte indices in ascending order.
+    pub fn live_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..FRAME_BYTES).filter(move |&i| !self.is_faulty(i))
+    }
+
+    /// Raw 66-bit map (bit set = faulty).
+    pub fn raw(&self) -> u128 {
+        self.bits
+    }
+}
+
+impl Default for FaultMap {
+    fn default() -> Self {
+        FaultMap::new()
+    }
+}
+
+impl fmt::Debug for FaultMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FaultMap(live={}/{}", self.live_bytes(), FRAME_BYTES)?;
+        if self.faulty_bytes() > 0 {
+            write!(f, ", faulty=[")?;
+            let mut first = true;
+            for i in 0..FRAME_BYTES {
+                if self.is_faulty(i) {
+                    if !first {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{i}")?;
+                    first = false;
+                }
+            }
+            write!(f, "]")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_map_is_fully_live() {
+        let fm = FaultMap::new();
+        assert_eq!(fm.live_bytes(), 66);
+        assert_eq!(fm.faulty_bytes(), 0);
+        assert!(!fm.is_dead());
+        assert_eq!(fm.live_indices().count(), 66);
+    }
+
+    #[test]
+    fn marking_is_idempotent() {
+        let mut fm = FaultMap::new();
+        fm.mark_faulty(65);
+        fm.mark_faulty(65);
+        assert_eq!(fm.faulty_bytes(), 1);
+        assert!(fm.is_faulty(65));
+    }
+
+    #[test]
+    fn from_faulty_collects() {
+        let fm = FaultMap::from_faulty([0, 1, 65]);
+        assert_eq!(fm.live_bytes(), 63);
+        assert_eq!(fm.live_indices().next(), Some(2));
+    }
+
+    #[test]
+    fn fully_dead() {
+        let fm = FaultMap::from_faulty(0..FRAME_BYTES);
+        assert!(fm.is_dead());
+        assert_eq!(fm.live_indices().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        FaultMap::new().mark_faulty(66);
+    }
+}

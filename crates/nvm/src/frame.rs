@@ -1,0 +1,222 @@
+//! A single NVM frame: fault map + per-byte wear state.
+
+use rand::Rng;
+
+use crate::endurance::EnduranceModel;
+use crate::fault_map::{FaultMap, FRAME_BYTES};
+
+/// A wear event: a byte crossed its endurance limit and became faulty.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WearEvent {
+    /// Index of the newly faulty byte within the frame.
+    pub byte: usize,
+}
+
+/// One NVM frame: 66 physical bytes, each with an endurance limit drawn
+/// from the [`EnduranceModel`] and a cumulative write-wear counter.
+///
+/// Wear is tracked in fractional writes so the forecast can apply
+/// `rate × Δt` increments; the functional path adds 1.0 per actual write.
+///
+/// # Example
+///
+/// ```
+/// use hllc_nvm::Frame;
+///
+/// let mut f = Frame::with_uniform_endurance(3);
+/// // Write bytes 0 and 1 three times; both die on the third write.
+/// let mut events = Vec::new();
+/// for _ in 0..3 {
+///     events.extend(f.record_write(0b11));
+/// }
+/// assert_eq!(events.len(), 2);
+/// assert_eq!(f.live_bytes(), 64);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Frame {
+    fault_map: FaultMap,
+    endurance: Box<[f64; FRAME_BYTES]>,
+    wear: Box<[f64; FRAME_BYTES]>,
+}
+
+impl Frame {
+    /// Creates a frame whose byte endurances are sampled from `model`.
+    pub fn sampled<R: Rng + ?Sized>(model: &EnduranceModel, rng: &mut R) -> Self {
+        let mut endurance = Box::new([0.0; FRAME_BYTES]);
+        for e in endurance.iter_mut() {
+            *e = model.sample(rng) as f64;
+        }
+        Frame {
+            fault_map: FaultMap::new(),
+            endurance,
+            wear: Box::new([0.0; FRAME_BYTES]),
+        }
+    }
+
+    /// Creates a frame where every byte endures exactly `writes` writes —
+    /// handy for deterministic tests.
+    pub fn with_uniform_endurance(writes: u64) -> Self {
+        Frame {
+            fault_map: FaultMap::new(),
+            endurance: Box::new([writes as f64; FRAME_BYTES]),
+            wear: Box::new([0.0; FRAME_BYTES]),
+        }
+    }
+
+    /// The frame's current fault map.
+    pub fn fault_map(&self) -> &FaultMap {
+        &self.fault_map
+    }
+
+    /// Number of live bytes (effective capacity in bytes).
+    pub fn live_bytes(&self) -> usize {
+        self.fault_map.live_bytes()
+    }
+
+    /// True if an ECB of `ecb_len` bytes fits in this frame.
+    pub fn fits(&self, ecb_len: usize) -> bool {
+        ecb_len <= self.live_bytes()
+    }
+
+    /// True if every byte has failed.
+    pub fn is_dead(&self) -> bool {
+        self.fault_map.is_dead()
+    }
+
+    /// Remaining writes byte `i` can absorb (0 if already faulty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= FRAME_BYTES`.
+    pub fn remaining_writes(&self, i: usize) -> f64 {
+        assert!(i < FRAME_BYTES);
+        if self.fault_map.is_faulty(i) {
+            0.0
+        } else {
+            (self.endurance[i] - self.wear[i]).max(0.0)
+        }
+    }
+
+    /// Records one selective write with the given byte mask (bit `i` set =
+    /// byte `i` written), as produced by the rearrangement circuitry.
+    /// Returns the bytes that failed as a result.
+    pub fn record_write(&mut self, mask: u128) -> Vec<WearEvent> {
+        let mut events = Vec::new();
+        for i in 0..FRAME_BYTES {
+            if mask >> i & 1 == 1 && !self.fault_map.is_faulty(i) {
+                self.wear[i] += 1.0;
+                if self.wear[i] >= self.endurance[i] {
+                    self.fault_map.mark_faulty(i);
+                    events.push(WearEvent { byte: i });
+                }
+            }
+        }
+        events
+    }
+
+    /// Spreads `total_byte_writes` of wear uniformly across the live bytes —
+    /// the aggregate effect of the rotating wear-leveling counter over a
+    /// long interval. Returns the bytes that failed.
+    pub fn apply_uniform_wear(&mut self, total_byte_writes: f64) -> Vec<WearEvent> {
+        let live = self.live_bytes();
+        if live == 0 || total_byte_writes <= 0.0 {
+            return Vec::new();
+        }
+        let per_byte = total_byte_writes / live as f64;
+        let mut events = Vec::new();
+        for i in 0..FRAME_BYTES {
+            if !self.fault_map.is_faulty(i) {
+                self.wear[i] += per_byte;
+                if self.wear[i] >= self.endurance[i] {
+                    self.fault_map.mark_faulty(i);
+                    events.push(WearEvent { byte: i });
+                }
+            }
+        }
+        events
+    }
+
+    /// Directly disables byte `i` (used for frame-disabling and fault
+    /// injection in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= FRAME_BYTES`.
+    pub fn disable_byte(&mut self, i: usize) {
+        self.fault_map.mark_faulty(i);
+    }
+
+    /// Total wear accumulated across all bytes (diagnostics).
+    pub fn total_wear(&self) -> f64 {
+        self.wear.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampled_frames_start_healthy() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let f = Frame::sampled(&EnduranceModel::new(1e6, 0.2), &mut rng);
+        assert_eq!(f.live_bytes(), FRAME_BYTES);
+        assert!(f.remaining_writes(0) > 0.0);
+    }
+
+    #[test]
+    fn record_write_wears_only_masked_bytes() {
+        let mut f = Frame::with_uniform_endurance(10);
+        for _ in 0..9 {
+            assert!(f.record_write(0b1).is_empty());
+        }
+        assert_eq!(f.remaining_writes(0), 1.0);
+        assert_eq!(f.remaining_writes(1), 10.0);
+        let ev = f.record_write(0b1);
+        assert_eq!(ev, vec![WearEvent { byte: 0 }]);
+        assert!(f.fault_map().is_faulty(0));
+    }
+
+    #[test]
+    fn faulty_bytes_absorb_no_more_wear() {
+        let mut f = Frame::with_uniform_endurance(1);
+        assert_eq!(f.record_write(0b1).len(), 1);
+        // Further writes to a dead byte produce no events and no wear change.
+        assert!(f.record_write(0b1).is_empty());
+        assert_eq!(f.remaining_writes(0), 0.0);
+    }
+
+    #[test]
+    fn uniform_wear_kills_weakest_bytes_first() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut f = Frame::sampled(&EnduranceModel::new(1000.0, 0.3), &mut rng);
+        // Find the weakest byte.
+        let weakest = (0..FRAME_BYTES)
+            .min_by(|&a, &b| f.remaining_writes(a).total_cmp(&f.remaining_writes(b)))
+            .unwrap();
+        let threshold = f.remaining_writes(weakest);
+        let events = f.apply_uniform_wear(threshold * FRAME_BYTES as f64);
+        assert!(events.iter().any(|e| e.byte == weakest));
+    }
+
+    #[test]
+    fn uniform_wear_on_dead_frame_is_noop() {
+        let mut f = Frame::with_uniform_endurance(1);
+        for i in 0..FRAME_BYTES {
+            f.disable_byte(i);
+        }
+        assert!(f.is_dead());
+        assert!(f.apply_uniform_wear(1e9).is_empty());
+    }
+
+    #[test]
+    fn fits_tracks_live_bytes() {
+        let mut f = Frame::with_uniform_endurance(100);
+        assert!(f.fits(66));
+        f.disable_byte(5);
+        assert!(!f.fits(66));
+        assert!(f.fits(65));
+    }
+}

@@ -1,0 +1,45 @@
+//! NVM endurance and fault-tolerance substrate for the hybrid LLC.
+//!
+//! Models the byte-level fault-tolerant NVM data array of *Compression-Aware
+//! and Performance-Efficient Insertion Policies for Long-Lasting Hybrid LLCs*
+//! (HPCA 2023), §II-A and §III-B:
+//!
+//! * per-bitcell (modelled per-byte) write endurance drawn from a normal
+//!   distribution `N(μ, cv·μ)` ([`EnduranceModel`]);
+//! * a per-frame fault map with one bit per byte ([`FaultMap`]);
+//! * the block-rearrangement circuitry — index generator + crossbar — that
+//!   scatters an extended compressed block (ECB) over the non-faulty bytes
+//!   of a frame and gathers it back ([`rearrange`]);
+//! * an intra-frame wear-leveling rotation counter ([`WearLevelCounter`]);
+//! * the full NVM portion of the LLC data array with per-byte wear
+//!   accounting and frame- or byte-granularity disabling ([`NvmArray`]).
+//!
+//! # Example
+//!
+//! ```
+//! use hllc_nvm::{FaultMap, rearrange};
+//!
+//! let mut fm = FaultMap::new();
+//! fm.mark_faulty(2);
+//! fm.mark_faulty(5);
+//! let ecb = [0xAA, 0xBB, 0xCC, 0xDD, 0xEE];
+//! let (recb, mask) = rearrange::scatter(&ecb, &fm, 0);
+//! let back = rearrange::gather(&recb, &fm, 0, ecb.len());
+//! assert_eq!(back, ecb);
+//! assert_eq!(mask.count_ones() as usize, ecb.len());
+//! ```
+
+mod array;
+mod endurance;
+mod fault_map;
+mod frame;
+pub mod rearrange;
+mod setlevel;
+mod wear;
+
+pub use array::{DisableGranularity, FrameId, NvmArray};
+pub use endurance::EnduranceModel;
+pub use fault_map::{FaultMap, FRAME_BYTES};
+pub use frame::{Frame, WearEvent};
+pub use setlevel::StartGap;
+pub use wear::WearLevelCounter;

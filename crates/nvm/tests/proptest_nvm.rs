@@ -1,0 +1,75 @@
+//! Property-based tests for the NVM substrate.
+
+use hllc_nvm::{rearrange, FaultMap, Frame, FRAME_BYTES};
+use proptest::prelude::*;
+
+fn arb_fault_map(max_faults: usize) -> impl Strategy<Value = FaultMap> {
+    prop::collection::btree_set(0usize..FRAME_BYTES, 0..=max_faults).prop_map(FaultMap::from_faulty)
+}
+
+proptest! {
+    /// Scatter/gather round-trips for any fault map, offset, and ECB that fits.
+    #[test]
+    fn scatter_gather_round_trip(
+        fm in arb_fault_map(30),
+        offset in 0usize..200,
+        len_frac in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let capacity = fm.live_bytes();
+        let len = ((capacity as f64) * len_frac) as usize;
+        prop_assume!(len > 0);
+        let mut x = seed | 1;
+        let ecb: Vec<u8> = (0..len).map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 48) as u8
+        }).collect();
+        let (recb, mask) = rearrange::scatter(&ecb, &fm, offset);
+        prop_assert_eq!(mask.count_ones() as usize, len);
+        prop_assert_eq!(mask & fm.raw(), 0, "mask touched a faulty byte");
+        prop_assert_eq!(rearrange::gather(&recb, &fm, offset, len), ecb);
+    }
+
+    /// The write mask is exactly the first `len` live bytes in circular
+    /// order from the offset.
+    #[test]
+    fn mask_matches_index_vector(fm in arb_fault_map(20), offset in 0usize..FRAME_BYTES) {
+        let len = fm.live_bytes().min(10);
+        prop_assume!(len > 0);
+        let iv = rearrange::index_vector(&fm, offset, len);
+        let (_, mask) = rearrange::scatter(&vec![0u8; len], &fm, offset);
+        for (i, slot) in iv.iter().enumerate() {
+            prop_assert_eq!(slot.is_some(), mask >> i & 1 == 1);
+        }
+    }
+
+    /// Wear never resurrects a byte and capacity is monotonically
+    /// non-increasing.
+    #[test]
+    fn wear_is_monotone(writes in prop::collection::vec(0.0f64..50.0, 1..20)) {
+        let mut f = Frame::with_uniform_endurance(100);
+        let mut prev_live = f.live_bytes();
+        for w in writes {
+            let _ = f.apply_uniform_wear(w * FRAME_BYTES as f64);
+            let live = f.live_bytes();
+            prop_assert!(live <= prev_live);
+            prev_live = live;
+        }
+    }
+
+    /// Exact per-write accounting agrees with the endurance limit: a byte
+    /// dies on exactly its k-th write when endurance is k.
+    #[test]
+    fn exact_wear_death_time(k in 1u64..50) {
+        let mut f = Frame::with_uniform_endurance(k);
+        for i in 1..=k {
+            let ev = f.record_write(0b100);
+            if i < k {
+                prop_assert!(ev.is_empty(), "byte died early at write {i}");
+            } else {
+                prop_assert_eq!(ev.len(), 1, "byte failed to die at write {}", k);
+                prop_assert_eq!(ev[0].byte, 2);
+            }
+        }
+    }
+}

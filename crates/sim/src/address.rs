@@ -1,0 +1,63 @@
+//! Address manipulation helpers.
+//!
+//! All caches use 64-byte blocks (Table IV), so block addresses are byte
+//! addresses shifted right by [`BLOCK_OFFSET_BITS`]. Set indices are the low
+//! bits of the block address.
+
+/// log2 of the block size (64 B).
+pub const BLOCK_OFFSET_BITS: u32 = 6;
+
+/// Converts a byte address to a block address.
+///
+/// # Example
+///
+/// ```
+/// use hllc_sim::block_of;
+///
+/// assert_eq!(block_of(0x0), 0);
+/// assert_eq!(block_of(0x3F), 0);
+/// assert_eq!(block_of(0x40), 1);
+/// ```
+pub fn block_of(byte_addr: u64) -> u64 {
+    byte_addr >> BLOCK_OFFSET_BITS
+}
+
+/// Converts a block address back to the byte address of its first byte.
+pub fn block_addr(block: u64) -> u64 {
+    block << BLOCK_OFFSET_BITS
+}
+
+/// Extracts the set index for a cache with `sets` sets (must be a power of
+/// two) from a block address.
+///
+/// # Panics
+///
+/// Panics in debug builds if `sets` is not a power of two.
+pub fn set_index(block: u64, sets: usize) -> usize {
+    debug_assert!(sets.is_power_of_two(), "set count must be a power of two");
+    (block as usize) & (sets - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_round_trip() {
+        assert_eq!(block_of(block_addr(1234)), 1234);
+    }
+
+    #[test]
+    fn set_index_masks_low_bits() {
+        assert_eq!(set_index(0x1234, 256), 0x34);
+        assert_eq!(set_index(0xFF, 16), 0xF);
+    }
+
+    #[test]
+    fn consecutive_blocks_map_to_consecutive_sets() {
+        let sets = 128;
+        for b in 0..2 * sets as u64 {
+            assert_eq!(set_index(b, sets), (b as usize) % sets);
+        }
+    }
+}

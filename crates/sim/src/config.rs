@@ -1,0 +1,163 @@
+//! System configuration (Table IV).
+
+use crate::dram::DramConfig;
+use crate::timing::TimingModel;
+
+/// Geometry of the shared hybrid LLC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LlcGeometry {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// SRAM ways per set (4 in the paper's main configuration).
+    pub sram_ways: usize,
+    /// NVM ways per set (12 in the paper's main configuration).
+    pub nvm_ways: usize,
+}
+
+impl LlcGeometry {
+    /// Total associativity.
+    pub fn total_ways(&self) -> usize {
+        self.sram_ways + self.nvm_ways
+    }
+
+    /// Total capacity in bytes at 64 B per block.
+    pub fn capacity_bytes(&self) -> usize {
+        self.sets * self.total_ways() * 64
+    }
+}
+
+/// Full system configuration: core count, private cache geometry, LLC
+/// geometry, and timing.
+///
+/// # Example
+///
+/// ```
+/// use hllc_sim::SystemConfig;
+///
+/// let cfg = SystemConfig::default();
+/// assert_eq!(cfg.cores, 4);
+/// assert_eq!(cfg.llc.sram_ways, 4);
+/// assert_eq!(cfg.llc.nvm_ways, 12);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct SystemConfig {
+    /// Number of cores (paper: 4).
+    pub cores: usize,
+    /// L1 data cache sets (32 KB, 4-way, 64 B blocks → 128 sets).
+    pub l1_sets: usize,
+    /// L1 associativity (paper: 4).
+    pub l1_ways: usize,
+    /// Private L2 sets (128 KB, 16-way → 128 sets).
+    pub l2_sets: usize,
+    /// L2 associativity (paper: 16).
+    pub l2_ways: usize,
+    /// Shared LLC geometry.
+    pub llc: LlcGeometry,
+    /// Timing parameters.
+    pub timing: TimingModel,
+    /// Banked open-page DRAM model; `None` charges the flat
+    /// `timing.memory` latency instead (the calibrated default).
+    pub dram: Option<DramConfig>,
+}
+
+impl SystemConfig {
+    /// The paper's Table IV system: 4 cores, 32 KB L1, 128 KB L2,
+    /// 4 MB LLC (4096 sets × 16 ways), 4 SRAM + 12 NVM ways.
+    pub fn paper_default() -> Self {
+        SystemConfig {
+            cores: 4,
+            l1_sets: 128,
+            l1_ways: 4,
+            l2_sets: 128,
+            l2_ways: 16,
+            llc: LlcGeometry { sets: 4096, sram_ways: 4, nvm_ways: 12 },
+            timing: TimingModel::paper_default(),
+            dram: None,
+        }
+    }
+
+    /// A proportionally scaled-down system for fast experiments: same
+    /// way counts and latency ratios, 1/8 the sets everywhere. Workload
+    /// footprints should be scaled accordingly (the `hllc-trace` crate's
+    /// scaled app models do this).
+    pub fn scaled_down() -> Self {
+        SystemConfig {
+            cores: 4,
+            l1_sets: 64,
+            l1_ways: 4,
+            l2_sets: 32,
+            l2_ways: 16,
+            llc: LlcGeometry { sets: 512, sram_ways: 4, nvm_ways: 12 },
+            timing: TimingModel::paper_default(),
+            dram: None,
+        }
+    }
+
+    /// Doubles the private L2 (the Figure 11a sensitivity study).
+    pub fn with_l2_doubled(mut self) -> Self {
+        self.l2_sets *= 2;
+        self
+    }
+
+    /// Sets the SRAM/NVM way split (Figures 10b and 11c studies).
+    pub fn with_way_split(mut self, sram_ways: usize, nvm_ways: usize) -> Self {
+        self.llc.sram_ways = sram_ways;
+        self.llc.nvm_ways = nvm_ways;
+        self
+    }
+
+    /// Enables the banked open-page DRAM model.
+    pub fn with_dram(mut self, dram: DramConfig) -> Self {
+        self.dram = Some(dram);
+        self
+    }
+
+    /// Scales the NVM read latency (the Figure 11b ×1.5 study raises the
+    /// 8-cycle data array to 12 cycles, i.e. load-use 32 → 36).
+    pub fn with_nvm_latency_factor(mut self, factor: f64) -> Self {
+        // Table IV: 8 of the 32 load-use cycles are the NVM data array.
+        let array = 8.0 * factor;
+        self.timing.llc_nvm_hit = (24.0 + array).round() as u32;
+        self
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_llc_is_4mb() {
+        let cfg = SystemConfig::paper_default();
+        assert_eq!(cfg.llc.capacity_bytes(), 4 * 1024 * 1024);
+        assert_eq!(cfg.llc.total_ways(), 16);
+    }
+
+    #[test]
+    fn l2_doubling() {
+        let cfg = SystemConfig::paper_default().with_l2_doubled();
+        assert_eq!(cfg.l2_sets, 256);
+    }
+
+    #[test]
+    fn nvm_latency_factor() {
+        let cfg = SystemConfig::paper_default().with_nvm_latency_factor(1.5);
+        assert_eq!(cfg.timing.llc_nvm_hit, 36);
+        let cfg1 = SystemConfig::paper_default().with_nvm_latency_factor(1.0);
+        assert_eq!(cfg1.timing.llc_nvm_hit, 32);
+    }
+
+    #[test]
+    fn way_split() {
+        let cfg = SystemConfig::paper_default().with_way_split(3, 13);
+        assert_eq!(cfg.llc.sram_ways, 3);
+        assert_eq!(cfg.llc.nvm_ways, 13);
+        assert_eq!(cfg.llc.total_ways(), 16);
+    }
+}

@@ -1,0 +1,188 @@
+//! The LLC attachment point: request/insert protocol, reuse tags, and
+//! shared statistics.
+
+use crate::data::DataModel;
+
+/// Reuse classification of a block, carried between L2 and LLC (§IV-B).
+///
+/// * `None` — the block has shown no LLC reuse yet (all blocks start here
+///   when they enter the hierarchy from main memory).
+/// * `Read` — the block hit in the LLC while clean. This is the paper's
+///   *read-reuse* class and coincides with LHybrid's *loop-block* tag.
+/// * `Write` — the block hit in the LLC while dirty, or was re-acquired
+///   with write permission (`GetX` hit).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ReuseClass {
+    /// No reuse demonstrated yet.
+    #[default]
+    None,
+    /// Read reuse (loop-block).
+    Read,
+    /// Write reuse.
+    Write,
+}
+
+/// LLC request kinds issued by an L2 miss or upgrade.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LlcReq {
+    /// Read request (load / fetch). A hit leaves the block in the LLC.
+    GetS,
+    /// Write-permission request. A hit *invalidates* the LLC copy
+    /// (invalidate-on-hit, §III-A) because the private levels will hold the
+    /// up-to-date dirty data from now on.
+    GetX,
+}
+
+/// Outcome of an LLC request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LlcResponse {
+    /// True if the block was present.
+    pub hit: bool,
+    /// True if the hit was served from the NVM part (slower reads).
+    pub nvm: bool,
+    /// True if the block was stored compressed (adds decompression +
+    /// rearrangement latency, §III-B3).
+    pub compressed: bool,
+    /// Updated reuse tag for the block, to be stored in L2 and handed back
+    /// on eviction.
+    pub reuse: ReuseClass,
+    /// Extra service cycles beyond the level's base latency — e.g. a read
+    /// waiting for an in-progress NVM write to the same bank (Table IV's
+    /// 20-cycle data-array write occupancy).
+    pub extra_cycles: u32,
+}
+
+impl LlcResponse {
+    /// The canonical miss response.
+    pub fn miss() -> Self {
+        LlcResponse {
+            hit: false,
+            nvm: false,
+            compressed: false,
+            reuse: ReuseClass::None,
+            extra_cycles: 0,
+        }
+    }
+}
+
+/// Statistics shared by every LLC implementation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LlcStats {
+    /// `GetS` requests received.
+    pub gets: u64,
+    /// `GetX` requests received.
+    pub getx: u64,
+    /// Requests that hit.
+    pub hits: u64,
+    /// Requests that missed.
+    pub misses: u64,
+    /// Hits served by the SRAM part.
+    pub sram_hits: u64,
+    /// Hits served by the NVM part.
+    pub nvm_hits: u64,
+    /// Blocks inserted into the SRAM part.
+    pub sram_inserts: u64,
+    /// Blocks inserted into the NVM part (including migrations).
+    pub nvm_inserts: u64,
+    /// SRAM→NVM migrations (CA_RWR read-reuse victims, LHybrid loop-blocks).
+    pub migrations: u64,
+    /// Bytes written to the NVM part (ECB bytes, the lifetime currency).
+    pub nvm_bytes_written: u64,
+    /// Dirty evictions written back to main memory.
+    pub writebacks: u64,
+    /// Insertions that bypassed the LLC entirely (no usable frame).
+    pub bypasses: u64,
+    /// Cycles reads spent waiting behind NVM writes (bank contention).
+    pub write_stall_cycles: u64,
+}
+
+impl LlcStats {
+    /// Total requests.
+    pub fn requests(&self) -> u64 {
+        self.gets + self.getx
+    }
+
+    /// Hit rate over all requests, 0.0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let r = self.requests();
+        if r == 0 {
+            0.0
+        } else {
+            self.hits as f64 / r as f64
+        }
+    }
+}
+
+/// Interface every last-level cache implementation plugs into the
+/// [`Hierarchy`](crate::Hierarchy) through.
+///
+/// `now` is the global cycle count, used by epoch-based mechanisms
+/// (Set Dueling).
+pub trait LlcPort {
+    /// Handles a `GetS`/`GetX` from an L2 miss or upgrade.
+    fn request(&mut self, now: u64, block: u64, req: LlcReq) -> LlcResponse;
+
+    /// Inserts an L2 victim (clean or dirty). `reuse` is the tag the block
+    /// carried in L2. The LLC consults `data` for the compressed size.
+    fn insert(&mut self, now: u64, block: u64, dirty: bool, reuse: ReuseClass, data: &mut dyn DataModel);
+
+    /// Aggregate statistics.
+    fn stats(&self) -> &LlcStats;
+
+    /// Resets the statistics counters (state is untouched).
+    fn reset_stats(&mut self);
+}
+
+/// An LLC that caches nothing: every request misses, every insert is
+/// dropped. Useful as the no-LLC baseline and in hierarchy unit tests.
+#[derive(Clone, Debug, Default)]
+pub struct NullLlc {
+    stats: LlcStats,
+}
+
+impl LlcPort for NullLlc {
+    fn request(&mut self, _now: u64, _block: u64, req: LlcReq) -> LlcResponse {
+        match req {
+            LlcReq::GetS => self.stats.gets += 1,
+            LlcReq::GetX => self.stats.getx += 1,
+        }
+        self.stats.misses += 1;
+        LlcResponse::miss()
+    }
+
+    fn insert(&mut self, _now: u64, _block: u64, dirty: bool, _reuse: ReuseClass, _data: &mut dyn DataModel) {
+        self.stats.bypasses += 1;
+        if dirty {
+            self.stats.writebacks += 1;
+        }
+    }
+
+    fn stats(&self) -> &LlcStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = LlcStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_llc_always_misses() {
+        let mut llc = NullLlc::default();
+        let r = llc.request(0, 42, LlcReq::GetS);
+        assert!(!r.hit);
+        llc.request(0, 42, LlcReq::GetX);
+        assert_eq!(llc.stats().requests(), 2);
+        assert_eq!(llc.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        let s = LlcStats { gets: 8, getx: 2, hits: 5, misses: 5, ..Default::default() };
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

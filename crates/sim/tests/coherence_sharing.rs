@@ -1,0 +1,135 @@
+//! Cross-core sharing through the directory: cache-to-cache transfers,
+//! invalidate-on-write, and the single-owner invariant.
+
+use hllc_sim::{Access, ConstSizeData, Hierarchy, LlcPort, NullLlc, SystemConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn cfg(cores: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_default();
+    cfg.cores = cores;
+    cfg.l1_sets = 2;
+    cfg.l1_ways = 2;
+    cfg.l2_sets = 4;
+    cfg.l2_ways = 2;
+    cfg
+}
+
+fn h(cores: usize) -> Hierarchy<NullLlc, ConstSizeData> {
+    Hierarchy::new(&cfg(cores), NullLlc::default(), ConstSizeData::new(64))
+}
+
+const REMOTE_SLOT: usize = 6;
+
+#[test]
+fn second_reader_gets_cache_to_cache_transfer() {
+    let mut h = h(2);
+    h.access(&Access::load(0, 0x80)); // core 0: memory fill (E)
+    h.access(&Access::load(1, 0x80)); // core 1: remote transfer
+    assert_eq!(h.stats().services[5], 1, "one memory fill");
+    assert_eq!(h.stats().services[REMOTE_SLOT], 1, "one remote transfer");
+    h.assert_coherent();
+    // Both can now read locally.
+    h.access(&Access::load(0, 0x80));
+    h.access(&Access::load(1, 0x80));
+    assert_eq!(h.stats().services[0], 2, "both L1 hit afterwards");
+}
+
+#[test]
+fn reading_a_remote_dirty_block_writes_it_back() {
+    let mut h = h(2);
+    h.access(&Access::store(0, 0x80)); // core 0 owns dirty data (M)
+    h.access(&Access::load(1, 0x80)); // core 1 reads: transfer + LLC writeback
+    // The dirty data was handed to the (Null) LLC: one insert with dirty,
+    // which NullLlc counts as a writeback.
+    assert_eq!(h.llc().stats().writebacks, 1);
+    h.assert_coherent();
+    // Core 0 still has a (now clean, shared) copy.
+    h.access(&Access::load(0, 0x80));
+    assert_eq!(h.stats().services[0], 1);
+}
+
+#[test]
+fn writer_invalidates_all_readers() {
+    let mut h = h(3);
+    for core in 0..3 {
+        h.access(&Access::load(core, 0x100));
+    }
+    h.assert_coherent();
+    // Core 2 writes: cores 0 and 1 lose their copies.
+    h.access(&Access::store(2, 0x100));
+    assert_eq!(h.stats().remote_invalidations, 2);
+    h.assert_coherent();
+    // A reader must re-fetch (remote transfer from the new owner).
+    let before = h.stats().services[REMOTE_SLOT];
+    h.access(&Access::load(0, 0x100));
+    assert_eq!(h.stats().services[REMOTE_SLOT], before + 1);
+    h.assert_coherent();
+}
+
+#[test]
+fn upgrade_from_shared_invalidates_peers() {
+    let mut h = h(2);
+    h.access(&Access::load(0, 0x40));
+    h.access(&Access::load(1, 0x40)); // both S
+    h.assert_coherent();
+    // Core 0 writes its L1-resident shared copy: upgrade path.
+    h.access(&Access::store(0, 0x40));
+    assert_eq!(h.stats().remote_invalidations, 1);
+    assert_eq!(h.stats().upgrades, 1);
+    h.assert_coherent();
+    // Core 1's next read cannot be a local hit.
+    let l1_hits = h.stats().services[0];
+    h.access(&Access::load(1, 0x40));
+    assert_eq!(h.stats().services[0], l1_hits, "core 1's copy must be gone");
+}
+
+#[test]
+fn ping_pong_writes_stay_coherent() {
+    let mut h = h(2);
+    for i in 0..20 {
+        let core = (i % 2) as u8;
+        h.access(&Access::store(core, 0x200));
+        h.assert_coherent();
+    }
+    // Exactly one core holds the block (M); 19 of the 20 stores invalidated
+    // the other side.
+    assert_eq!(h.stats().remote_invalidations, 19);
+}
+
+#[test]
+fn random_sharing_traffic_maintains_invariants() {
+    let mut h = h(4);
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..3_000 {
+        let core = rng.gen_range(0..4u8);
+        let addr = u64::from(rng.gen_range(0..24u8)) * 64; // heavy sharing
+        if rng.gen_bool(0.3) {
+            h.access(&Access::store(core, addr));
+        } else {
+            h.access(&Access::load(core, addr));
+        }
+    }
+    h.assert_coherent();
+    assert!(h.stats().remote_invalidations > 0);
+    assert!(h.stats().services[REMOTE_SLOT] > 0);
+}
+
+#[test]
+fn disjoint_workloads_never_touch_the_directory_paths() {
+    let mut h = h(2);
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..2_000 {
+        let core = rng.gen_range(0..2u8);
+        // Disjoint address spaces per core, like the real workloads.
+        let addr = (u64::from(core) << 40) | (u64::from(rng.gen_range(0..64u8)) * 64);
+        if rng.gen_bool(0.3) {
+            h.access(&Access::store(core, addr));
+        } else {
+            h.access(&Access::load(core, addr));
+        }
+    }
+    h.assert_coherent();
+    assert_eq!(h.stats().remote_invalidations, 0);
+    assert_eq!(h.stats().services[REMOTE_SLOT], 0);
+}

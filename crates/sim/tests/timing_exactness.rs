@@ -1,0 +1,77 @@
+//! Exact timing accounting of the hierarchy's analytical model.
+
+use hllc_sim::{Access, ConstSizeData, Hierarchy, NullLlc, SystemConfig, TimingModel};
+
+fn cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::paper_default();
+    cfg.cores = 1;
+    cfg
+}
+
+#[test]
+fn cold_load_charges_memory_latency() {
+    let cfg = cfg();
+    let t = cfg.timing;
+    let mut h = Hierarchy::new(&cfg, NullLlc::default(), ConstSizeData::new(64));
+    let stall = h.access(&Access::load(0, 0).with_gap(7));
+    assert!((stall - f64::from(t.memory) * t.load_mlp).abs() < 1e-12);
+    // Clock = 8 instructions at base CPI + the stall.
+    let expected = 8.0 * t.cpi_base + stall;
+    assert!((h.core_clock(0) - expected).abs() < 1e-12);
+}
+
+#[test]
+fn l1_hits_are_free_of_stall() {
+    let cfg = cfg();
+    let mut h = Hierarchy::new(&cfg, NullLlc::default(), ConstSizeData::new(64));
+    h.access(&Access::load(0, 0));
+    let stall = h.access(&Access::load(0, 0));
+    assert_eq!(stall, 0.0, "L1 hits hide inside the pipeline");
+}
+
+#[test]
+fn stores_charge_less_than_loads() {
+    let cfg = cfg();
+    let mut h = Hierarchy::new(&cfg, NullLlc::default(), ConstSizeData::new(64));
+    let load_stall = h.access(&Access::load(0, 0x100000));
+    let store_stall = h.access(&Access::store(0, 0x200000));
+    assert!(store_stall < load_stall);
+    let t = cfg.timing;
+    assert!((store_stall - f64::from(t.memory) * t.store_mlp).abs() < 1e-12);
+}
+
+#[test]
+fn l2_hit_latency_is_charged_exactly() {
+    let mut cfg = cfg();
+    cfg.l1_sets = 1;
+    cfg.l1_ways = 1;
+    let t = cfg.timing;
+    let mut h = Hierarchy::new(&cfg, NullLlc::default(), ConstSizeData::new(64));
+    // Fill two blocks through the 1-entry L1; the first falls back to L2.
+    h.access(&Access::load(0, 0));
+    h.access(&Access::load(0, 64));
+    let stall = h.access(&Access::load(0, 0)); // L1 miss, L2 hit
+    assert!((stall - f64::from(t.l2_hit) * t.load_mlp).abs() < 1e-12);
+}
+
+#[test]
+fn ipc_matches_hand_computation() {
+    let cfg = cfg();
+    let t: TimingModel = cfg.timing;
+    let mut h = Hierarchy::new(&cfg, NullLlc::default(), ConstSizeData::new(64));
+    // One cold load with a 9-instruction gap: 10 instructions total.
+    h.access(&Access::load(0, 0).with_gap(9));
+    let cycles = 10.0 * t.cpi_base + f64::from(t.memory) * t.load_mlp;
+    assert!((h.ipc(0) - 10.0 / cycles).abs() < 1e-12);
+    assert!((h.system_ipc() - h.ipc(0)).abs() < 1e-12);
+}
+
+#[test]
+fn instruction_gaps_accumulate() {
+    let cfg = cfg();
+    let mut h = Hierarchy::new(&cfg, NullLlc::default(), ConstSizeData::new(64));
+    h.access(&Access::load(0, 0).with_gap(4));
+    h.access(&Access::load(0, 0).with_gap(6)); // L1 hit
+    assert_eq!(h.stats().total_instructions(), 12);
+    assert_eq!(h.stats().accesses(), 2);
+}

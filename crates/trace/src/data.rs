@@ -1,0 +1,163 @@
+//! The workload-backed data model: real payload synthesis through the real
+//! BDI compressor, memoized per block.
+
+use std::collections::HashMap;
+
+use hllc_compress::{Block, CompressorKind};
+use hllc_sim::DataModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::app::APP_SLOT_SHIFT;
+use crate::profile::{splitmix, Profile};
+
+/// Block-address bit where the app slot lives (byte bit 40 → block bit 34).
+const SLOT_SHIFT_BLOCKS: u32 = APP_SLOT_SHIFT - 6;
+
+/// Data model for a multi-programmed mix: each app slot has its own
+/// compressibility profile; per-block compressed sizes are derived by
+/// synthesizing a payload of the block's sticky class and compressing it
+/// with the real BDI compressor, then memoized.
+///
+/// # Example
+///
+/// ```
+/// use hllc_sim::DataModel;
+/// use hllc_trace::{Profile, WorkloadData};
+///
+/// let mut d = WorkloadData::new(vec![Profile::incompressible()], 1);
+/// assert_eq!(d.compressed_size(0x123), 64);
+/// ```
+#[derive(Clone, Debug)]
+pub struct WorkloadData {
+    profiles: Vec<Profile>,
+    compressor: CompressorKind,
+    sizes: HashMap<u64, u8>,
+    rng: StdRng,
+}
+
+impl WorkloadData {
+    /// Creates the model for apps in slots `0..profiles.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty.
+    pub fn new(profiles: Vec<Profile>, seed: u64) -> Self {
+        assert!(!profiles.is_empty(), "at least one profile required");
+        WorkloadData {
+            profiles,
+            compressor: CompressorKind::Bdi,
+            sizes: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Switches the compression mechanism used to size blocks (ablation:
+    /// the insertion policies are compressor-orthogonal).
+    pub fn with_compressor(mut self, kind: CompressorKind) -> Self {
+        assert!(self.sizes.is_empty(), "switch compressors before any sizing");
+        self.compressor = kind;
+        self
+    }
+
+    /// The compression mechanism in use.
+    pub fn compressor(&self) -> CompressorKind {
+        self.compressor
+    }
+
+    fn profile_of(&self, block: u64) -> &Profile {
+        let slot = (block >> SLOT_SHIFT_BLOCKS) as usize;
+        &self.profiles[slot.min(self.profiles.len() - 1)]
+    }
+
+    /// Synthesizes the current payload of `block` (for functional examples
+    /// and round-trip tests; the hot path only needs the size).
+    pub fn synthesize_block(&mut self, block: u64) -> Block {
+        let class = self.profile_of(block).sample_class(splitmix(block));
+        Profile::synthesize(class, &mut self.rng)
+    }
+
+    /// Number of memoized block sizes (diagnostics).
+    pub fn memoized(&self) -> usize {
+        self.sizes.len()
+    }
+}
+
+impl DataModel for WorkloadData {
+    fn compressed_size(&mut self, block: u64) -> u8 {
+        if let Some(&s) = self.sizes.get(&block) {
+            return s;
+        }
+        let class = self.profile_of(block).sample_class(splitmix(block));
+        let payload = Profile::synthesize(class, &mut self.rng);
+        let size = self.compressor.compressed_size(&payload);
+        self.sizes.insert(block, size);
+        size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::SynthClass;
+
+    #[test]
+    fn sizes_are_memoized_and_stable() {
+        let mut d = WorkloadData::new(vec![Profile::from_fractions(0.5, 0.3, 0.2, 0.2)], 3);
+        let s1 = d.compressed_size(77);
+        let s2 = d.compressed_size(77);
+        assert_eq!(s1, s2);
+        assert_eq!(d.memoized(), 1);
+    }
+
+    #[test]
+    fn per_slot_profiles() {
+        let mut d = WorkloadData::new(
+            vec![Profile::incompressible(), Profile::from_fractions(1.0, 0.0, 0.0, 1.0)],
+            3,
+        );
+        // Slot 0: always 64. Slot 1 (all-zero bias 1.0): always 1.
+        assert_eq!(d.compressed_size(5), 64);
+        let slot1_block = (1u64 << SLOT_SHIFT_BLOCKS) | 5;
+        assert_eq!(d.compressed_size(slot1_block), 1);
+    }
+
+    #[test]
+    fn class_population_matches_profile() {
+        let p = Profile::from_fractions(0.49, 0.29, 0.22, 0.2);
+        let mut d = WorkloadData::new(vec![p], 9);
+        let n = 20_000u64;
+        let mut hcr = 0u32;
+        let mut lcr = 0u32;
+        let mut inc = 0u32;
+        for b in 0..n {
+            match d.compressed_size(b) {
+                s if s <= 37 => hcr += 1,
+                64 => inc += 1,
+                _ => lcr += 1,
+            }
+        }
+        // The compressor can only shrink below nominal, so HCR may gain a
+        // little mass from LCR draws — tolerances are loose.
+        assert!((hcr as f64 / n as f64 - 0.49).abs() < 0.05, "hcr {hcr}");
+        assert!((lcr as f64 / n as f64 - 0.29).abs() < 0.05, "lcr {lcr}");
+        assert!((inc as f64 / n as f64 - 0.22).abs() < 0.05, "inc {inc}");
+    }
+
+    #[test]
+    fn fpc_compressor_swaps_in() {
+        use hllc_compress::CompressorKind;
+        let p = Profile::from_fractions(1.0, 0.0, 0.0, 1.0); // all-zero blocks
+        let mut bdi = WorkloadData::new(vec![p.clone()], 3);
+        let mut fpc = WorkloadData::new(vec![p], 3).with_compressor(CompressorKind::Fpc);
+        assert_eq!(bdi.compressed_size(9), 1); // BDI zero encoding
+        assert_eq!(fpc.compressed_size(9), 6); // FPC: 16 prefixes
+    }
+
+    #[test]
+    fn synthesize_block_matches_class_size() {
+        let mut d = WorkloadData::new(vec![Profile::incompressible()], 1);
+        let b = d.synthesize_block(9);
+        assert_eq!(hllc_compress::Compressor::new().compressed_size(&b), SynthClass::Incompressible.nominal_size());
+    }
+}

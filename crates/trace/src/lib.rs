@@ -1,0 +1,41 @@
+//! Synthetic SPEC CPU 2006/2017-like workloads.
+//!
+//! The paper evaluates ten multi-programmed mixes of memory-intensive SPEC
+//! applications (Table V). SPEC binaries and traces are proprietary, so this
+//! crate models each application as a parameterised synthetic reference
+//! generator (DESIGN.md substitution #1):
+//!
+//! * an **access pattern** archetype (looping, streaming, uniform random,
+//!   hot/cold, phased combinations) over a private footprint;
+//! * a **write fraction** and mean instruction gap;
+//! * a **data-compressibility profile** calibrated against Figure 2 —
+//!   64-byte payloads are synthesized per block and pushed through the real
+//!   BDI compressor to obtain compressed sizes.
+//!
+//! # Example
+//!
+//! ```
+//! use hllc_trace::mixes;
+//!
+//! let mix = &mixes()[0];
+//! assert_eq!(mix.apps.len(), 4);
+//! let mut streams = mix.instantiate(1.0, 42);
+//! let a = streams[0].next_access(0);
+//! assert_eq!(a.core, 0);
+//! ```
+
+mod app;
+mod data;
+mod driver;
+mod mix;
+mod pattern;
+mod profile;
+mod spec;
+
+pub use app::{AppSpec, AppStream, APP_SLOT_SHIFT};
+pub use data::WorkloadData;
+pub use driver::{drive_accesses, drive_cycles};
+pub use mix::{mixes, Mix};
+pub use pattern::Pattern;
+pub use profile::{Profile, SynthClass};
+pub use spec::{app_by_name, spec_apps};

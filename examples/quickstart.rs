@@ -1,0 +1,59 @@
+//! Quickstart: run the paper's CP_SD policy on a multi-programmed mix and
+//! print the cache-level statistics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hybrid_llc::llc::{HybridConfig, HybridLlc, Policy};
+use hybrid_llc::sim::{Hierarchy, SystemConfig};
+use hybrid_llc::trace::{drive_cycles, mixes};
+use hybrid_llc::LlcPort;
+
+fn main() {
+    // A 1/8-scale version of the paper's Table IV system (512-set LLC,
+    // 4 SRAM + 12 NVM ways), running mix 1 of Table V.
+    let system = SystemConfig::scaled_down();
+    let mix = &mixes()[0];
+    println!(
+        "system: {} cores, LLC {} KB ({} SRAM + {} NVM ways)",
+        system.cores,
+        system.llc.capacity_bytes() / 1024,
+        system.llc.sram_ways,
+        system.llc.nvm_ways
+    );
+    println!(
+        "workload: {} = {}",
+        mix.name,
+        mix.apps.iter().map(|a| a.name).collect::<Vec<_>>().join(" + ")
+    );
+
+    let llc_cfg = HybridConfig::from_geometry(system.llc, Policy::cp_sd())
+        .with_endurance(1e8, 0.2)
+        .with_epoch_cycles(100_000)
+        .with_dueling_smoothing(0.6);
+    let llc = HybridLlc::new(&llc_cfg);
+    let mut hierarchy = Hierarchy::new(&system, llc, mix.data_model(42));
+    let mut streams = mix.instantiate(512.0 / 4096.0, 42);
+
+    // Warm up, then measure 2 M cycles.
+    drive_cycles(&mut hierarchy, &mut streams, 400_000.0);
+    hierarchy.reset_stats();
+    let accesses = drive_cycles(&mut hierarchy, &mut streams, 2_400_000.0);
+
+    let s = *hierarchy.llc().stats();
+    println!("\nafter {accesses} memory references:");
+    println!("  system IPC          {:.3}", hierarchy.system_ipc());
+    println!("  LLC requests        {} (hit rate {:.1}%)", s.requests(), 100.0 * s.hit_rate());
+    println!("  hits SRAM / NVM     {} / {}", s.sram_hits, s.nvm_hits);
+    println!("  inserts SRAM / NVM  {} / {}", s.sram_inserts, s.nvm_inserts);
+    println!("  SRAM->NVM migrations {}", s.migrations);
+    println!("  NVM bytes written   {}", s.nvm_bytes_written);
+    if let Some(d) = hierarchy.llc().dueling() {
+        println!("  Set Dueling CP_th   {}", d.current_cp_th());
+    }
+    println!(
+        "  NVM capacity        {:.1}%",
+        100.0 * hierarchy.llc().capacity_fraction()
+    );
+}

@@ -1,0 +1,76 @@
+//! Wear and tear: inject progressive byte failures into the NVM part and
+//! watch how frame-disabling (BH) and byte-disabling + compression (CP_SD)
+//! caches cope — the capacity-resilience story of §III-B.
+//!
+//! ```sh
+//! cargo run --release --example wear_and_tear
+//! ```
+
+use hybrid_llc::llc::{HybridConfig, HybridLlc, Policy};
+use hybrid_llc::nvm::FRAME_BYTES;
+use hybrid_llc::sim::{Hierarchy, SystemConfig};
+use hybrid_llc::trace::{drive_cycles, mixes};
+use hybrid_llc::LlcPort;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Disables `n` random bytes per NVM frame, honouring each policy's
+/// granularity through the normal wear path.
+fn injure(llc: &mut HybridLlc, bytes_per_frame: usize, rng: &mut StdRng) {
+    let Some(array) = llc.array_mut() else { return };
+    for set in 0..array.sets() {
+        for way in 0..array.ways() {
+            for _ in 0..bytes_per_frame {
+                let b = rng.gen_range(0..FRAME_BYTES);
+                array.frame_mut(set, way).disable_byte(b);
+            }
+            // Frame-granularity caches react to the first fault.
+            if array.granularity() == hybrid_llc::nvm::DisableGranularity::Frame
+                && array.frame(set, way).fault_map().faulty_bytes() > 0
+            {
+                array.disable_frame(set, way);
+            }
+        }
+    }
+}
+
+fn measure(policy: Policy, bytes_per_frame: usize) -> (f64, f64) {
+    let system = SystemConfig::scaled_down();
+    let mix = &mixes()[0];
+    let cfg = HybridConfig::from_geometry(system.llc, policy)
+        .with_endurance(1e8, 0.2)
+        .with_epoch_cycles(100_000)
+        .with_dueling_smoothing(0.6);
+    let mut llc = HybridLlc::new(&cfg);
+    let mut rng = StdRng::seed_from_u64(9);
+    injure(&mut llc, bytes_per_frame, &mut rng);
+    let capacity = llc.capacity_fraction();
+    let mut h = Hierarchy::new(&system, llc, mix.data_model(42));
+    let mut streams = mix.instantiate(0.125, 42);
+    drive_cycles(&mut h, &mut streams, 400_000.0);
+    h.reset_stats();
+    drive_cycles(&mut h, &mut streams, 2_000_000.0);
+    (capacity, h.llc().stats().hit_rate())
+}
+
+fn main() {
+    println!("injecting n random byte faults into every NVM frame:\n");
+    println!(
+        "{:>8} | {:>14} {:>10} | {:>14} {:>10}",
+        "faults", "BH capacity", "hit rate", "CP_SD capacity", "hit rate"
+    );
+    for n in [0usize, 1, 2, 4, 8, 16] {
+        let (bh_cap, bh_hit) = measure(Policy::Bh, n);
+        let (sd_cap, sd_hit) = measure(Policy::cp_sd(), n);
+        println!(
+            "{n:>8} | {:>13.1}% {:>9.1}% | {:>13.1}% {:>9.1}%",
+            bh_cap * 100.0,
+            bh_hit * 100.0,
+            sd_cap * 100.0,
+            sd_hit * 100.0
+        );
+    }
+    println!("\nOne faulty byte kills a whole frame under frame-disabling (BH),");
+    println!("but costs only 1/66 of the frame under byte-disabling: compressed");
+    println!("blocks keep flowing into the surviving bytes (CP_SD).");
+}

@@ -1,0 +1,236 @@
+//! `hllc` — command-line front-end for the hybrid-LLC simulator.
+//!
+//! ```text
+//! hllc policies                          list the insertion policies
+//! hllc mixes                             list the Table V workloads
+//! hllc run      --policy cp_sd --mix 1   one simulation phase, cache stats
+//! hllc forecast --policy bh    --mix 1   age the NVM part to 50% capacity
+//! ```
+
+use std::process::ExitCode;
+
+use hybrid_llc::forecast::{Forecast, ForecastConfig};
+use hybrid_llc::llc::{HybridConfig, HybridLlc, Policy};
+use hybrid_llc::sim::{EnergyModel, Hierarchy, SystemConfig};
+use hybrid_llc::trace::{drive_cycles, mixes};
+use hybrid_llc::LlcPort;
+
+fn parse_policy(name: &str) -> Option<Policy> {
+    match name.to_ascii_lowercase().as_str() {
+        "bh" => Some(Policy::Bh),
+        "bh_cp" | "bhcp" => Some(Policy::BhCp),
+        "ca" => Some(Policy::Ca { cp_th: 58 }),
+        "ca_rwr" | "carwr" => Some(Policy::CaRwr { cp_th: 58 }),
+        "cp_sd" | "cpsd" => Some(Policy::cp_sd()),
+        "cp_sd_th4" => Some(Policy::cp_sd_th(4.0)),
+        "cp_sd_th8" => Some(Policy::cp_sd_th(8.0)),
+        "lhybrid" => Some(Policy::LHybrid),
+        "tap" => Some(Policy::tap()),
+        _ => None,
+    }
+}
+
+struct Args {
+    policy: Policy,
+    mix: usize,
+    cycles: f64,
+    seed: u64,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args { policy: Policy::cp_sd(), mix: 0, cycles: 2.0e6, seed: 42 };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--policy" => {
+                let v = value()?;
+                args.policy =
+                    parse_policy(v).ok_or_else(|| format!("unknown policy '{v}' (try `hllc policies`)"))?;
+            }
+            "--mix" => {
+                let v: usize = value()?.parse().map_err(|_| "--mix expects 1..10".to_string())?;
+                if !(1..=10).contains(&v) {
+                    return Err("--mix expects 1..10".into());
+                }
+                args.mix = v - 1;
+            }
+            "--cycles" => {
+                args.cycles = value()?.parse().map_err(|_| "--cycles expects a number".to_string())?;
+            }
+            "--seed" => {
+                args.seed = value()?.parse().map_err(|_| "--seed expects an integer".to_string())?;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn cmd_policies() {
+    println!("available insertion policies (Table III):");
+    for (flag, desc) in [
+        ("bh", "baseline hybrid: global LRU, NVM-unaware, frame-disabling"),
+        ("bh_cp", "BH + compression: global Fit-LRU, byte-disabling"),
+        ("ca", "naive compression-aware, CP_th = 58"),
+        ("ca_rwr", "compression + read/write-reuse aware, CP_th = 58"),
+        ("cp_sd", "CA_RWR + Set Dueling (the paper's proposal)"),
+        ("cp_sd_th4", "CP_SD with the rule-based Th=4% knob"),
+        ("cp_sd_th8", "CP_SD with the rule-based Th=8% knob"),
+        ("lhybrid", "loop-block aware state of the art"),
+        ("tap", "thrashing-aware state of the art"),
+    ] {
+        println!("  {flag:<10} {desc}");
+    }
+}
+
+fn cmd_mixes() {
+    println!("Table V workloads:");
+    for m in mixes() {
+        let names: Vec<&str> = m.apps.iter().map(|a| a.name).collect();
+        println!("  {:<7} {}", m.name, names.join(", "));
+    }
+}
+
+fn cmd_run(args: &Args) {
+    let system = SystemConfig::scaled_down();
+    let mix = &mixes()[args.mix];
+    println!("running {} under {} for {:.1}M cycles...", mix.name, args.policy.name(), args.cycles / 1e6);
+
+    let llc_cfg = HybridConfig::from_geometry(system.llc, args.policy)
+        .with_endurance(1e8, 0.2)
+        .with_epoch_cycles(100_000)
+        .with_dueling_smoothing(0.6);
+    let mut h = Hierarchy::new(&system, HybridLlc::new(&llc_cfg), mix.data_model(args.seed));
+    let mut streams = mix.instantiate(system.llc.sets as f64 / 4096.0, args.seed);
+    drive_cycles(&mut h, &mut streams, 0.2 * args.cycles);
+    h.reset_stats();
+    drive_cycles(&mut h, &mut streams, 1.2 * args.cycles);
+
+    let s = *h.llc().stats();
+    let energy = EnergyModel::default_16nm().breakdown(&s, args.cycles, system.timing.freq_ghz);
+    println!("  system IPC        {:.3}", h.system_ipc());
+    println!("  LLC hit rate      {:.1}% ({} of {} requests)", 100.0 * s.hit_rate(), s.hits, s.requests());
+    println!("  hits SRAM/NVM     {} / {}", s.sram_hits, s.nvm_hits);
+    println!("  inserts SRAM/NVM  {} / {} (migrations {})", s.sram_inserts, s.nvm_inserts, s.migrations);
+    println!("  NVM bytes written {}", s.nvm_bytes_written);
+    println!("  LLC energy        {:.2} mJ", energy.total_mj());
+    if let Some(d) = h.llc().dueling() {
+        println!("  Set Dueling CP_th {}", d.current_cp_th());
+    }
+}
+
+fn cmd_forecast(args: &Args) {
+    let mix = &mixes()[args.mix];
+    println!(
+        "forecasting {} under {} (scaled mu=1e8; multiply times by 100 for paper scale)...",
+        mix.name,
+        args.policy.name()
+    );
+    let series = Forecast::new(ForecastConfig::scaled(args.policy)).run(mix, args.seed);
+    println!("{:>10} {:>10} {:>8}", "time [h]", "capacity", "IPC");
+    for p in &series.points {
+        println!("{:>10.2} {:>9.1}% {:>8.3}", p.time_seconds / 3600.0, p.capacity * 100.0, p.ipc);
+    }
+    match series.lifetime_seconds(0.5) {
+        Some(s) => println!("=> 50% capacity after {:.2} scaled hours", s / 3600.0),
+        None => println!("=> never reached 50% capacity (SRAM-only or idle NVM)"),
+    }
+}
+
+fn cmd_compare(args: &Args) {
+    let mix = &mixes()[args.mix];
+    println!("comparing all policies on {} ({:.1}M cycles each)...\n", mix.name, args.cycles / 1e6);
+    println!("{:<12} {:>8} {:>10} {:>14} {:>12}", "policy", "IPC", "LLC hit%", "NVM bytes", "energy [mJ]");
+    for p in ["bh", "bh_cp", "ca", "ca_rwr", "cp_sd", "cp_sd_th8", "lhybrid", "tap"] {
+        let policy = parse_policy(p).unwrap();
+        let system = SystemConfig::scaled_down();
+        let llc_cfg = HybridConfig::from_geometry(system.llc, policy)
+            .with_endurance(1e8, 0.2)
+            .with_epoch_cycles(100_000)
+            .with_dueling_smoothing(0.6);
+        let mut h = Hierarchy::new(&system, HybridLlc::new(&llc_cfg), mix.data_model(args.seed));
+        let mut streams = mix.instantiate(system.llc.sets as f64 / 4096.0, args.seed);
+        drive_cycles(&mut h, &mut streams, 0.2 * args.cycles);
+        h.reset_stats();
+        drive_cycles(&mut h, &mut streams, 1.2 * args.cycles);
+        let s = *h.llc().stats();
+        let e = EnergyModel::default_16nm().breakdown(&s, args.cycles, system.timing.freq_ghz);
+        println!(
+            "{:<12} {:>8.3} {:>9.1}% {:>14} {:>12.2}",
+            policy.name(),
+            h.system_ipc(),
+            100.0 * s.hit_rate(),
+            s.nvm_bytes_written,
+            e.total_mj()
+        );
+    }
+}
+
+fn cmd_figures() {
+    println!("paper tables and figures are regenerated by bench targets:");
+    for (bench, what) in [
+        ("table1", "Table I  — BDI compression encodings"),
+        ("table3", "Table III — policy taxonomy"),
+        ("table4", "Table IV — system specification"),
+        ("table5", "Table V  — workload mixes"),
+        ("fig2", "Figure 2  — per-app compressibility"),
+        ("fig6", "Figure 6  — hit rate vs CP_th"),
+        ("fig7", "Figure 7  — NVM bytes vs CP_th"),
+        ("fig8a", "Figure 8a — optimal CP_th vs capacity"),
+        ("fig8b", "Figure 8b — optimal CP_th per mix"),
+        ("fig9", "Figure 9  — Th/Tw trade-off"),
+        ("fig10a", "Figure 1/10a — performance vs lifetime"),
+        ("fig10b", "Figure 10b — 3/13 way split"),
+        ("fig10c", "Figure 10c — cv = 0.25"),
+        ("fig11a", "Figure 11a — L2 doubled"),
+        ("fig11b", "Figure 11b — NVM latency x1.5"),
+        ("fig11c", "Figure 11c — equal storage cost"),
+        ("energy", "extension — LLC energy"),
+        ("variability", "extension — seed noise floor"),
+        ("ablation_fit_lru", "ablation — Fit-LRU"),
+        ("ablation_epoch", "ablation — dueling epoch"),
+        ("ablation_compressor", "ablation — BDI vs FPC"),
+        ("ablation_memory", "ablation — DRAM model"),
+        ("micro", "Criterion microbenches"),
+    ] {
+        println!("  cargo bench -p hllc-bench --bench {bench:<20} # {what}");
+    }
+}
+
+fn usage() {
+    println!(
+        "usage: hllc <policies|mixes|figures|run|forecast|compare> \
+        [--policy P] [--mix 1..10] [--cycles N] [--seed S]"
+    );
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    match cmd.as_str() {
+        "policies" => cmd_policies(),
+        "mixes" => cmd_mixes(),
+        "figures" => cmd_figures(),
+        "run" | "forecast" | "compare" => match parse_args(&argv[1..]) {
+            Ok(args) if cmd == "run" => cmd_run(&args),
+            Ok(args) if cmd == "compare" => cmd_compare(&args),
+            Ok(args) => cmd_forecast(&args),
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        },
+        "-h" | "--help" | "help" => usage(),
+        other => {
+            eprintln!("error: unknown command '{other}'");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,65 @@
+//! # hybrid-llc
+//!
+//! A from-scratch Rust reproduction of *Compression-Aware and
+//! Performance-Efficient Insertion Policies for Long-Lasting Hybrid LLCs*
+//! (HPCA 2023): a shared last-level cache that combines wear-free SRAM ways
+//! with dense but endurance-limited NVM ways, steering incoming blocks by
+//! their **compressed size** and **read/write-reuse** behaviour, tuning the
+//! compression threshold at runtime with **Set Dueling**, and tolerating
+//! byte-level hard faults through **BDI compression + block rearrangement**
+//! over partially worn-out frames.
+//!
+//! The workspace is organized as one crate per subsystem; this facade
+//! re-exports them under stable module names:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`compress`] | `hllc-compress` | modified BDI compressor (Table I) |
+//! | [`ecc`] | `hllc-ecc` | Hamming SECDED, incl. the (527,516) frame code |
+//! | [`nvm`] | `hllc-nvm` | endurance model, fault maps, wear leveling, rearrangement circuitry |
+//! | [`sim`] | `hllc-sim` | private L1/L2 hierarchy, coherence, timing |
+//! | [`llc`] | `hllc-core` | the hybrid LLC and every insertion policy |
+//! | [`trace`] | `hllc-trace` | synthetic SPEC-like workloads and mixes |
+//! | [`forecast`] | `hllc-forecast` | the aging forecast procedure |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hybrid_llc::llc::{HybridConfig, HybridLlc, Policy};
+//! use hybrid_llc::sim::{Hierarchy, LlcPort, SystemConfig};
+//! use hybrid_llc::trace::{drive_accesses, mixes};
+//!
+//! // A scaled-down system running the paper's CP_SD policy on mix 1.
+//! let mut system = SystemConfig::scaled_down();
+//! system.llc.sets = 256;
+//! let mix = &mixes()[0];
+//! let llc = HybridLlc::new(
+//!     &HybridConfig::from_geometry(system.llc, Policy::cp_sd()).with_epoch_cycles(100_000),
+//! );
+//! let mut hierarchy = Hierarchy::new(&system, llc, mix.data_model(1));
+//! let mut streams = mix.instantiate(256.0 / 4096.0, 1);
+//! drive_accesses(&mut hierarchy, &mut streams, 50_000);
+//! println!(
+//!     "IPC {:.3}, LLC hit rate {:.3}, NVM bytes written {}",
+//!     hierarchy.system_ipc(),
+//!     hierarchy.llc().stats().hit_rate(),
+//!     hierarchy.llc().stats().nvm_bytes_written,
+//! );
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! harnesses that regenerate every table and figure of the paper.
+
+pub use hllc_compress as compress;
+pub use hllc_core as llc;
+pub use hllc_ecc as ecc;
+pub use hllc_forecast as forecast;
+pub use hllc_nvm as nvm;
+pub use hllc_sim as sim;
+pub use hllc_trace as trace;
+
+// The types nearly every user touches, re-exported at the crate root.
+pub use hllc_core::{HybridConfig, HybridLlc, Policy};
+pub use hllc_forecast::{Forecast, ForecastConfig, ForecastSeries};
+pub use hllc_sim::{Hierarchy, LlcPort, SystemConfig};
+pub use hllc_trace::mixes;

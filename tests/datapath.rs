@@ -1,0 +1,103 @@
+//! Cross-crate integration: the complete §III-B NVM write/read datapath —
+//! BDI compression → (527,516) SECDED → ECB packing → block rearrangement
+//! over a faulty frame → bit error → gather → correction → decompression.
+
+use hybrid_llc::compress::{Block, CompressedBlock, Compressor, Encoding};
+use hybrid_llc::ecc::{BitVec, Decoded, FrameCodec};
+use hybrid_llc::nvm::{rearrange, FaultMap, FRAME_BYTES};
+use proptest::prelude::*;
+
+/// Writes a block into a frame image and reads it back, optionally
+/// flipping one stored bit. Returns the recovered block.
+fn round_trip(block: &Block, fault_map: &FaultMap, offset: usize, flip_bit: Option<usize>) -> Block {
+    let compressor = Compressor::new();
+    let codec = FrameCodec::new();
+
+    // Write path.
+    let cb = compressor.compress(block);
+    let mut padded = [0u8; 64];
+    padded[..cb.payload().len()].copy_from_slice(cb.payload());
+    let word = codec.encode(cb.encoding().ce(), &padded);
+    let ecb = codec.pack_ecb(&word, cb.size());
+    assert_eq!(ecb.len(), cb.size() as usize + 2);
+    assert!(ecb.len() <= fault_map.live_bytes(), "test harness must pick fitting frames");
+    let (recb, mask) = rearrange::scatter(&ecb, fault_map, offset);
+    assert_eq!(mask & fault_map.raw(), 0, "never write faulty bytes");
+
+    // Read path.
+    let mut gathered = rearrange::gather(&recb, fault_map, offset, ecb.len());
+    if let Some(bit) = flip_bit {
+        let stored_bits = 15 + 8 * cb.size() as usize;
+        let b = bit % stored_bits;
+        gathered[b / 8] ^= 1 << (b % 8);
+    }
+    let word_back: BitVec = codec.unpack_ecb(&gathered, cb.size());
+    let payload = match codec.decode(&word_back) {
+        Decoded::Clean { data } => data,
+        Decoded::Corrected { data, .. } => data,
+        Decoded::DoubleError => panic!("unexpected double error"),
+    };
+    let (ce, bytes) = FrameCodec::split_payload(&payload);
+    let encoding = Encoding::from_ce(ce).expect("valid CE");
+    CompressedBlock::from_parts(encoding, bytes[..encoding.compressed_size() as usize].to_vec())
+        .expect("payload length matches")
+        .decompress()
+}
+
+#[test]
+fn clean_datapath_for_every_encoding_class() {
+    let blocks = [
+        Block::zeroed(),
+        Block::from_u64_lanes([7; 8]),
+        Block::from_u64_lanes(core::array::from_fn(|i| 1000 + i as u64)),
+        Block::from_u64_lanes(core::array::from_fn(|i| (i as u64) << 40)),
+    ];
+    let fm = FaultMap::from_faulty([5, 31]);
+    for b in &blocks {
+        assert_eq!(round_trip(b, &fm, 13, None), *b);
+    }
+}
+
+#[test]
+fn single_bit_errors_are_transparent() {
+    let block = Block::from_u64_lanes(core::array::from_fn(|i| 0xAB00 + 3 * i as u64));
+    let fm = FaultMap::from_faulty([0, 1, 2]);
+    for bit in (0..190).step_by(7) {
+        assert_eq!(round_trip(&block, &fm, 7, Some(bit)), block);
+    }
+}
+
+#[test]
+fn uncompressed_blocks_need_a_pristine_frame() {
+    // A 64-byte block has a 66-byte ECB: exactly one fully live frame.
+    let mut raw = [0u8; 64];
+    for (i, b) in raw.iter_mut().enumerate() {
+        *b = (i as u8).wrapping_mul(97).wrapping_add(13);
+    }
+    let block = Block::new(raw);
+    assert_eq!(Compressor::new().compressed_size(&block), 64);
+    let fm = FaultMap::new();
+    assert_eq!(round_trip(&block, &fm, 0, Some(100)), block);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any clustered block survives the full datapath through any frame it
+    /// fits in, at any rotation offset, with any single stored-bit error.
+    #[test]
+    fn datapath_round_trip(
+        base in any::<u64>(),
+        jitter in prop::collection::vec(-100_000i64..100_000, 8),
+        faults in prop::collection::btree_set(0usize..FRAME_BYTES, 0..5),
+        offset in 0usize..200,
+        flip in prop::option::of(0usize..500),
+    ) {
+        let lanes: [u64; 8] = core::array::from_fn(|i| base.wrapping_add(jitter[i] as u64));
+        let block = Block::from_u64_lanes(lanes);
+        let fm = FaultMap::from_faulty(faults);
+        let cb_size = Compressor::new().compressed_size(&block) as usize;
+        prop_assume!(cb_size + 2 <= fm.live_bytes());
+        prop_assert_eq!(round_trip(&block, &fm, offset, flip), block);
+    }
+}
