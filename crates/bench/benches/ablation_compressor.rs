@@ -50,5 +50,8 @@ fn main() {
     }
     table.print();
     println!("\n(BH stores blocks uncompressed; its rows isolate pure noise.)");
-    save_json("ablation_compressor", &serde_json::json!({ "experiment": "ablation_compressor", "rows": json_rows }));
+    save_json(
+        "ablation_compressor",
+        &serde_json::json!({ "experiment": "ablation_compressor", "rows": json_rows }),
+    );
 }

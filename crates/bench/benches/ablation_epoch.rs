@@ -45,5 +45,8 @@ fn main() {
         }));
     }
     table.print();
-    save_json("ablation_epoch", &serde_json::json!({ "experiment": "ablation_epoch", "rows": json_rows }));
+    save_json(
+        "ablation_epoch",
+        &serde_json::json!({ "experiment": "ablation_epoch", "rows": json_rows }),
+    );
 }

@@ -18,7 +18,13 @@ fn main() {
         "Fit-LRU vs plain LRU in the NVM part (CP_SD)",
         "DESIGN.md §6 ablation; the paper adopts Fit-LRU from [18].",
     );
-    let mut table = Table::new(["capacity", "variant", "hit rate", "NVM inserts", "bypass+SRAM fallbacks"]);
+    let mut table = Table::new([
+        "capacity",
+        "variant",
+        "hit rate",
+        "NVM inserts",
+        "bypass+SRAM fallbacks",
+    ]);
     let mut json_rows = Vec::new();
     for capacity in [1.0, 0.9, 0.8, 0.7, 0.6] {
         for fit in [true, false] {
@@ -55,5 +61,8 @@ fn main() {
     table.print();
     println!("\nExpectation: at degraded capacity, Fit-LRU sustains more NVM");
     println!("insertions and a higher hit rate than fault-oblivious plain LRU.");
-    save_json("ablation_fit_lru", &serde_json::json!({ "experiment": "ablation_fit_lru", "rows": json_rows }));
+    save_json(
+        "ablation_fit_lru",
+        &serde_json::json!({ "experiment": "ablation_fit_lru", "rows": json_rows }),
+    );
 }

@@ -42,7 +42,12 @@ fn main() {
             let ipc = ipc / opts.mixes as f64;
             per_policy.push(ipc);
             table.row([
-                if dram { "open-page DRAM" } else { "flat 180cyc" }.to_string(),
+                if dram {
+                    "open-page DRAM"
+                } else {
+                    "flat 180cyc"
+                }
+                .to_string(),
                 policy.name(),
                 format!("{ipc:.4}"),
                 format!("{:.3}", hits / reqs),
@@ -51,15 +56,26 @@ fn main() {
                 "dram": dram, "policy": policy.name(), "ipc": ipc,
             }));
         }
-        orderings.push((dram, per_policy[1] / per_policy[0], per_policy[2] / per_policy[0]));
+        orderings.push((
+            dram,
+            per_policy[1] / per_policy[0],
+            per_policy[2] / per_policy[0],
+        ));
     }
     table.print();
     println!("\nnormalized (CP_SD/BH, LHybrid/BH):");
     for (dram, sd, lh) in orderings {
         println!(
             "  {}: {sd:.3}, {lh:.3}",
-            if dram { "open-page DRAM" } else { "flat latency  " }
+            if dram {
+                "open-page DRAM"
+            } else {
+                "flat latency  "
+            }
         );
     }
-    save_json("ablation_memory", &serde_json::json!({ "experiment": "ablation_memory", "rows": json_rows }));
+    save_json(
+        "ablation_memory",
+        &serde_json::json!({ "experiment": "ablation_memory", "rows": json_rows }),
+    );
 }

@@ -68,5 +68,8 @@ fn main() {
         }));
     }
     table.print();
-    save_json("energy", &serde_json::json!({ "experiment": "energy", "rows": json_rows }));
+    save_json(
+        "energy",
+        &serde_json::json!({ "experiment": "energy", "rows": json_rows }),
+    );
 }

@@ -19,7 +19,10 @@ fn main() {
          normalized IPC than LHybrid at matched (or lower) storage cost.",
     );
     let mut configs = Vec::new();
-    configs.push(("LHybrid (12w NVM)".to_string(), opts.forecast_config(Policy::LHybrid)));
+    configs.push((
+        "LHybrid (12w NVM)".to_string(),
+        opts.forecast_config(Policy::LHybrid),
+    ));
     for (name, policy) in [
         ("CP_SD", Policy::cp_sd()),
         ("CP_SD_Th4", Policy::cp_sd_th(4.0)),

@@ -19,7 +19,13 @@ fn main() {
         "Paper Fig. 2: on average 78% of blocks compressible (49% HCR + 29% LCR).",
     );
     let blocks_per_app = 20_000u64;
-    let mut table = Table::new(["application", "HCR %", "LCR %", "incompressible %", "mean CR"]);
+    let mut table = Table::new([
+        "application",
+        "HCR %",
+        "LCR %",
+        "incompressible %",
+        "mean CR",
+    ]);
     let mut rows_json = Vec::new();
     let mut totals = (0.0, 0.0, 0.0);
 
@@ -61,8 +67,9 @@ fn main() {
         String::new(),
     ]);
     table.print();
-    println!(
-        "\nPaper average: 49.0 HCR / 29.0 LCR / 22.0 incompressible (78% compressible)."
+    println!("\nPaper average: 49.0 HCR / 29.0 LCR / 22.0 incompressible (78% compressible).");
+    save_json(
+        "fig2",
+        &serde_json::json!({ "experiment": "fig2", "apps": rows_json }),
     );
-    save_json("fig2", &serde_json::json!({ "experiment": "fig2", "apps": rows_json }));
 }

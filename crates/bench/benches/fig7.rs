@@ -36,7 +36,10 @@ fn main() {
     table.print();
 
     let (_, sd, _) = measure_avg(Policy::cp_sd(), 1.0, &opts);
-    println!("\nCP_SD (Set Dueling) line: {:.3} of BH bytes", sd / bh_bytes);
+    println!(
+        "\nCP_SD (Set Dueling) line: {:.3} of BH bytes",
+        sd / bh_bytes
+    );
     println!("Paper: CP_SD reduces NVM bytes written by 83.4% vs BH.");
     save_json(
         "fig7",

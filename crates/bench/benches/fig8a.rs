@@ -20,14 +20,7 @@ fn main() {
          values as effective capacity drops from 100% to 50%.",
     );
     let mut table = Table::new([
-        "capacity",
-        "CPth=30",
-        "37",
-        "44",
-        "51",
-        "58",
-        "64",
-        "epochs",
+        "capacity", "CPth=30", "37", "44", "51", "58", "64", "epochs",
     ]);
     let mut json_rows = Vec::new();
     for capacity in [1.0, 0.9, 0.8, 0.7, 0.6, 0.5] {
@@ -66,5 +59,8 @@ fn main() {
         }));
     }
     table.print();
-    save_json("fig8a", &serde_json::json!({ "experiment": "fig8a", "rows": json_rows }));
+    save_json(
+        "fig8a",
+        &serde_json::json!({ "experiment": "fig8a", "rows": json_rows }),
+    );
 }

@@ -29,8 +29,13 @@ fn main() {
                 epochs += 1;
             }
         }
-        let pct =
-            |k: usize| if epochs == 0 { 0.0 } else { 100.0 * wins[k] as f64 / epochs as f64 };
+        let pct = |k: usize| {
+            if epochs == 0 {
+                0.0
+            } else {
+                100.0 * wins[k] as f64 / epochs as f64
+            }
+        };
         table.row([
             mix.name.to_string(),
             format!("{:4.1}", pct(0)),
@@ -48,5 +53,8 @@ fn main() {
         }));
     }
     table.print();
-    save_json("fig8b", &serde_json::json!({ "experiment": "fig8b", "rows": json_rows }));
+    save_json(
+        "fig8b",
+        &serde_json::json!({ "experiment": "fig8b", "rows": json_rows }),
+    );
 }

@@ -38,5 +38,8 @@ fn main() {
         }
     }
     table.print();
-    save_json("fig9", &serde_json::json!({ "experiment": "fig9", "rows": json_rows }));
+    save_json(
+        "fig9",
+        &serde_json::json!({ "experiment": "fig9", "rows": json_rows }),
+    );
 }

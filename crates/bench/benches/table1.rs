@@ -14,7 +14,9 @@ fn main() {
         "Modified BDI compression encodings",
         "Paper Table I; LCR encodings (size > 37 B) marked with *.",
     );
-    let mut table = Table::new(["CE", "encoding", "base", "delta", "CB size", "ECB size", "class"]);
+    let mut table = Table::new([
+        "CE", "encoding", "base", "delta", "CB size", "ECB size", "class",
+    ]);
     let mut json_rows = Vec::new();
     for e in Encoding::ALL {
         let class = if e.is_lcr() {
@@ -40,5 +42,8 @@ fn main() {
     }
     table.print();
     println!("\nECB = CB + 4-bit CE + 11-bit SECDED (2 bytes); frame = 66 physical bytes.");
-    save_json("table1", &serde_json::json!({ "experiment": "table1", "rows": json_rows }));
+    save_json(
+        "table1",
+        &serde_json::json!({ "experiment": "table1", "rows": json_rows }),
+    );
 }

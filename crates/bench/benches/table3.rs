@@ -41,5 +41,8 @@ fn main() {
         }));
     }
     table.print();
-    save_json("table3", &serde_json::json!({ "experiment": "table3", "rows": json_rows }));
+    save_json(
+        "table3",
+        &serde_json::json!({ "experiment": "table3", "rows": json_rows }),
+    );
 }

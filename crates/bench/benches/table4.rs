@@ -13,14 +13,26 @@ fn main() {
     );
     let t = &cfg.timing;
     let mut table = Table::new(["parameter", "value"]);
-    table.row(["cores", &format!("{} out-of-order @ {} GHz", cfg.cores, t.freq_ghz)]);
+    table.row([
+        "cores",
+        &format!("{} out-of-order @ {} GHz", cfg.cores, t.freq_ghz),
+    ]);
     table.row([
         "L1D",
-        &format!("{} KB, {}-way, 64 B blocks", cfg.l1_sets * cfg.l1_ways * 64 / 1024, cfg.l1_ways),
+        &format!(
+            "{} KB, {}-way, 64 B blocks",
+            cfg.l1_sets * cfg.l1_ways * 64 / 1024,
+            cfg.l1_ways
+        ),
     ]);
     table.row([
         "L2 (private)",
-        &format!("{} KB, {}-way, load-use {} cyc", cfg.l2_sets * cfg.l2_ways * 64 / 1024, cfg.l2_ways, t.l2_hit),
+        &format!(
+            "{} KB, {}-way, load-use {} cyc",
+            cfg.l2_sets * cfg.l2_ways * 64 / 1024,
+            cfg.l2_ways,
+            t.l2_hit
+        ),
     ]);
     table.row([
         "LLC (shared)",
@@ -35,7 +47,10 @@ fn main() {
     table.row(["LLC SRAM load-use", &format!("{} cycles", t.llc_sram_hit)]);
     table.row([
         "LLC NVM load-use",
-        &format!("{} cycles (+{} for decompression/rearrangement)", t.llc_nvm_hit, t.nvm_decompress),
+        &format!(
+            "{} cycles (+{} for decompression/rearrangement)",
+            t.llc_nvm_hit, t.nvm_decompress
+        ),
     ]);
     table.row(["memory load-use", &format!("{} cycles", t.memory)]);
     table.row(["endurance", "mean 1e10 writes, cv 0.2 (1e8 in scaled runs)"]);

@@ -32,11 +32,17 @@ fn main() {
     for a in hllc_trace::spec_apps() {
         apps.row([
             a.name.to_string(),
-            format!("{:.1}", a.footprint_blocks as f64 * 64.0 / (1024.0 * 1024.0)),
+            format!(
+                "{:.1}",
+                a.footprint_blocks as f64 * 64.0 / (1024.0 * 1024.0)
+            ),
             format!("{:.2}", a.write_fraction * a.writable_fraction),
             format!("{:.0}", a.mean_inst_gap),
         ]);
     }
     apps.print();
-    save_json("table5", &serde_json::json!({ "experiment": "table5", "rows": json_rows }));
+    save_json(
+        "table5",
+        &serde_json::json!({ "experiment": "table5", "rows": json_rows }),
+    );
 }

@@ -48,6 +48,13 @@ fn main() {
         }));
     }
     table.print();
-    println!("\n{} seeds on {}; all other harnesses report single-seed runs.", seeds.len(), mix.name);
-    save_json("variability", &serde_json::json!({ "experiment": "variability", "rows": json_rows }));
+    println!(
+        "\n{} seeds on {}; all other harnesses report single-seed runs.",
+        seeds.len(),
+        mix.name
+    );
+    save_json(
+        "variability",
+        &serde_json::json!({ "experiment": "variability", "rows": json_rows }),
+    );
 }

@@ -2,7 +2,9 @@
 //! and single-phase measurement sweeps.
 
 use hllc_core::{HybridConfig, Policy};
-use hllc_forecast::{run_phase, Forecast, ForecastConfig, ForecastSeries, PhaseMetrics, PhaseSetup};
+use hllc_forecast::{
+    run_phase, Forecast, ForecastConfig, ForecastSeries, PhaseMetrics, PhaseSetup,
+};
 use hllc_sim::SystemConfig;
 use hllc_trace::{mixes, Mix};
 
@@ -15,16 +17,28 @@ pub struct ExpOpts {
     pub seed: u64,
     /// Run at the paper's full scale instead of the scaled-down system.
     pub full_scale: bool,
+    /// Worker threads for per-mix fan-out. Results are independent of it:
+    /// per-run seeds depend only on the mix index, and reductions happen
+    /// in mix order (see `hllc-runner`).
+    pub jobs: usize,
 }
 
 impl ExpOpts {
-    /// Reads `HLLC_MIXES` / `HLLC_SEED` / `HLLC_FULL` from the environment.
+    /// Reads `HLLC_MIXES` / `HLLC_SEED` / `HLLC_FULL` / `HLLC_JOBS` from the
+    /// environment.
     pub fn from_env() -> Self {
         let get = |k: &str| std::env::var(k).ok();
         ExpOpts {
-            mixes: get("HLLC_MIXES").and_then(|v| v.parse().ok()).unwrap_or(3).clamp(1, 10),
+            mixes: get("HLLC_MIXES")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(3)
+                .clamp(1, 10),
             seed: get("HLLC_SEED").and_then(|v| v.parse().ok()).unwrap_or(42),
             full_scale: get("HLLC_FULL").is_some_and(|v| v == "1"),
+            jobs: get("HLLC_JOBS")
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(hllc_runner::default_threads),
         }
     }
 
@@ -73,15 +87,14 @@ pub fn sram_bound_config(base: &ForecastConfig, ways: usize) -> ForecastConfig {
     cfg
 }
 
-/// Runs the forecast for a policy configuration over the option's mixes and
-/// averages the runs onto a common grid.
+/// Runs the forecast for a policy configuration over the option's mixes
+/// (fanned across `opts.jobs` workers) and averages the runs onto a common
+/// grid. Per-mix seeds and the averaging order depend only on the mix
+/// index, so the result is identical for every job count.
 pub fn forecast_avg(cfg: &ForecastConfig, opts: &ExpOpts, label: &str) -> ForecastSeries {
-    let runs: Vec<ForecastSeries> = opts
-        .mix_list()
-        .iter()
-        .enumerate()
-        .map(|(i, mix)| Forecast::new(cfg.clone()).run(mix, opts.seed + i as u64))
-        .collect();
+    let runs = hllc_runner::run_indexed(opts.mix_list(), opts.jobs, |i, mix| {
+        Forecast::new(cfg.clone()).run(&mix, opts.seed + i as u64)
+    });
     ForecastSeries::average(label, &runs, 48)
 }
 
@@ -92,35 +105,36 @@ pub fn degraded_array(
     capacity: f64,
     seed: u64,
 ) -> Option<hllc_nvm::NvmArray> {
-    use rand::SeedableRng;
-    if capacity >= 1.0 {
-        return None;
-    }
-    let mut llc = hllc_core::HybridLlc::new(llc_cfg);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x0DE6_AADE);
-    if let Some(a) = llc.array_mut() {
-        a.degrade_to(capacity, &mut rng);
-    }
-    llc.into_array()
+    hllc_runner::degraded_array(llc_cfg, capacity, seed)
 }
 
 /// One single-phase measurement (no aging) of `mix`, with the NVM part
 /// degraded to `capacity` first.
-pub fn measure_mix(policy: Policy, capacity: f64, mix: &Mix, seed: u64, opts: &ExpOpts) -> PhaseMetrics {
+pub fn measure_mix(
+    policy: Policy,
+    capacity: f64,
+    mix: &Mix,
+    seed: u64,
+    opts: &ExpOpts,
+) -> PhaseMetrics {
     let setup = opts.phase_setup(policy);
     let array = degraded_array(&setup.llc, capacity, seed);
     let (m, _) = run_phase(&setup, mix, array, seed);
     m
 }
 
-/// Single-phase measurement averaged over the options' mixes. Returns the
-/// summed LLC hit count, summed NVM bytes written, and mean IPC.
+/// Single-phase measurement averaged over the options' mixes, fanned across
+/// `opts.jobs` workers. Returns the summed LLC hit count, summed NVM bytes
+/// written, and mean IPC. The sums run in mix order, so the result is
+/// identical for every job count.
 pub fn measure_avg(policy: Policy, capacity: f64, opts: &ExpOpts) -> (f64, f64, f64) {
+    let metrics = hllc_runner::run_indexed(opts.mix_list(), opts.jobs, |i, mix| {
+        measure_mix(policy, capacity, &mix, opts.seed + i as u64, opts)
+    });
     let mut hits = 0.0;
     let mut bytes = 0.0;
     let mut ipc = 0.0;
-    for (i, mix) in opts.mix_list().iter().enumerate() {
-        let m = measure_mix(policy, capacity, mix, opts.seed + i as u64, opts);
+    for m in &metrics {
         hits += m.llc.hits as f64;
         bytes += m.llc.nvm_bytes_written as f64;
         ipc += m.ipc;
@@ -155,25 +169,39 @@ pub fn run_forecast_experiment(
     assert!(!configs.is_empty(), "need at least one configuration");
     let total_ways = configs[0].1.llc.sram_ways + configs[0].1.llc.nvm_ways;
 
-    let mut curves: Vec<ForecastSeries> = Vec::new();
-    let upper = forecast_avg(
-        &sram_bound_config(&configs[0].1, total_ways),
-        opts,
-        &format!("{total_ways}w SRAM (upper bound)"),
-    );
-    let base_ipc = upper.initial_ipc().unwrap_or(1.0);
-    curves.push(upper);
+    // The bounds plus every requested configuration, one curve each.
+    let mut curve_cfgs: Vec<(String, ForecastConfig)> = vec![(
+        format!("{total_ways}w SRAM (upper bound)"),
+        sram_bound_config(&configs[0].1, total_ways),
+    )];
     if with_lower_bound {
         let sram_ways = configs[0].1.llc.sram_ways.max(1);
-        curves.push(forecast_avg(
-            &sram_bound_config(&configs[0].1, sram_ways),
-            opts,
-            &format!("{sram_ways}w SRAM (lower bound)"),
+        curve_cfgs.push((
+            format!("{sram_ways}w SRAM (lower bound)"),
+            sram_bound_config(&configs[0].1, sram_ways),
         ));
     }
-    for (label, cfg) in configs {
-        curves.push(forecast_avg(cfg, opts, label));
-    }
+    curve_cfgs.extend(configs.iter().cloned());
+
+    // Flatten `curve × mix` into one job grid so the thread pool never
+    // drains between curves. Seeds and the merge order depend only on the
+    // (curve, mix) indices, so any job count reproduces the serial result.
+    let mix_list = opts.mix_list();
+    let grid: Vec<(usize, usize)> = (0..curve_cfgs.len())
+        .flat_map(|c| (0..mix_list.len()).map(move |m| (c, m)))
+        .collect();
+    let runs = hllc_runner::run_indexed(grid, opts.jobs, |_, (c, m)| {
+        Forecast::new(curve_cfgs[c].1.clone()).run(&mix_list[m], opts.seed + m as u64)
+    });
+    let curves: Vec<ForecastSeries> = curve_cfgs
+        .iter()
+        .enumerate()
+        .map(|(c, (label, _))| {
+            let slice = &runs[c * mix_list.len()..(c + 1) * mix_list.len()];
+            ForecastSeries::average(label, slice, 48)
+        })
+        .collect();
+    let base_ipc = curves[0].initial_ipc().unwrap_or(1.0);
 
     let bh_life = curves
         .iter()
@@ -268,7 +296,12 @@ mod tests {
     use super::*;
 
     fn opts(mixes: usize) -> ExpOpts {
-        ExpOpts { mixes, seed: 1, full_scale: false }
+        ExpOpts {
+            mixes,
+            seed: 1,
+            full_scale: false,
+            jobs: 1,
+        }
     }
 
     #[test]
@@ -303,7 +336,15 @@ mod tests {
     #[test]
     fn headline_set_covers_the_paper() {
         let names: Vec<String> = headline_policies().iter().map(|(n, _)| n.clone()).collect();
-        for expected in ["BH", "BH_CP", "LHybrid", "TAP", "CP_SD", "CP_SD_Th4", "CP_SD_Th8"] {
+        for expected in [
+            "BH",
+            "BH_CP",
+            "LHybrid",
+            "TAP",
+            "CP_SD",
+            "CP_SD_Th4",
+            "CP_SD_Th8",
+        ] {
             assert!(names.iter().any(|n| n == expected), "{expected} missing");
         }
     }

@@ -152,16 +152,8 @@ fn applies(encoding: Encoding, block: &Block) -> bool {
             let min = -(1i64 << (8 * delta - 1));
             match e.base_width().unwrap() {
                 8 => fits::<8>(&block.u64_lanes().map(|v| v as i64), min, max),
-                4 => fits::<16>(
-                    &block.u32_lanes().map(|v| i64::from(v as i32)),
-                    min,
-                    max,
-                ),
-                2 => fits::<32>(
-                    &block.u16_lanes().map(|v| i64::from(v as i16)),
-                    min,
-                    max,
-                ),
+                4 => fits::<16>(&block.u32_lanes().map(|v| i64::from(v as i32)), min, max),
+                2 => fits::<32>(&block.u16_lanes().map(|v| i64::from(v as i16)), min, max),
                 _ => unreachable!(),
             }
         }
@@ -182,8 +174,16 @@ fn encode_base_delta(encoding: Encoding, block: &Block) -> Vec<u8> {
     let delta_w = encoding.delta_width().unwrap() as usize;
     let lanes: Vec<i64> = match base_w {
         8 => block.u64_lanes().iter().map(|&v| v as i64).collect(),
-        4 => block.u32_lanes().iter().map(|&v| i64::from(v as i32)).collect(),
-        2 => block.u16_lanes().iter().map(|&v| i64::from(v as i16)).collect(),
+        4 => block
+            .u32_lanes()
+            .iter()
+            .map(|&v| i64::from(v as i32))
+            .collect(),
+        2 => block
+            .u16_lanes()
+            .iter()
+            .map(|&v| i64::from(v as i16))
+            .collect(),
         _ => unreachable!(),
     };
     let mut payload = Vec::with_capacity(encoding.compressed_size() as usize);
@@ -291,7 +291,11 @@ mod tests {
             lanes[3] = base + delta;
             // Vary another lane so Repeated never applies.
             lanes[5] = base + 1;
-            assert_eq!(round_trip(Block::from_u64_lanes(lanes)), expect, "delta width {d}");
+            assert_eq!(
+                round_trip(Block::from_u64_lanes(lanes)),
+                expect,
+                "delta width {d}"
+            );
         }
     }
 
@@ -322,7 +326,9 @@ mod tests {
         let mut bytes = [0u8; 64];
         let mut x: u64 = 0x9e3779b97f4a7c15;
         for b in bytes.iter_mut() {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *b = (x >> 33) as u8;
         }
         assert_eq!(round_trip(Block::new(bytes)), Encoding::Uncompressed);
@@ -357,7 +363,9 @@ mod tests {
             let mut bytes = [0u8; 64];
             let mut x = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
             for b in bytes.iter_mut() {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 *b = (x >> 56) as u8;
             }
             let blk = Block::new(bytes);

@@ -210,10 +210,19 @@ mod tests {
     #[test]
     fn hcr_lcr_partition() {
         // Exactly the >37-byte compressible encodings are LCR (paper §II-B).
-        let lcr: Vec<Encoding> = Encoding::ALL.iter().copied().filter(|e| e.is_lcr()).collect();
+        let lcr: Vec<Encoding> = Encoding::ALL
+            .iter()
+            .copied()
+            .filter(|e| e.is_lcr())
+            .collect();
         assert_eq!(
             lcr,
-            vec![Encoding::B8D5, Encoding::B8D6, Encoding::B8D7, Encoding::B4D3]
+            vec![
+                Encoding::B8D5,
+                Encoding::B8D6,
+                Encoding::B8D7,
+                Encoding::B4D3
+            ]
         );
         // Uncompressed is neither HCR nor LCR.
         assert!(!Encoding::Uncompressed.is_hcr());

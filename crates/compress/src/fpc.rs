@@ -156,7 +156,10 @@ mod tests {
         assert_eq!(FpcPattern::classify(30_000), FpcPattern::Imm16);
         assert_eq!(FpcPattern::classify(0xFFFF_8000), FpcPattern::Imm16); // -32768
         assert_eq!(FpcPattern::classify(0x1234_0000), FpcPattern::PaddedHalf);
-        assert_eq!(FpcPattern::classify(0x0042_0017), FpcPattern::TwoSignedBytes);
+        assert_eq!(
+            FpcPattern::classify(0x0042_0017),
+            FpcPattern::TwoSignedBytes
+        );
         assert_eq!(FpcPattern::classify(0xABAB_ABAB), FpcPattern::RepeatedBytes);
         assert_eq!(FpcPattern::classify(0x1234_5678), FpcPattern::Uncompressed);
     }

@@ -9,10 +9,14 @@ fn arb_block() -> impl Strategy<Value = Block> {
 
 /// Blocks biased toward compressibility: a base lane plus bounded jitter.
 fn arb_clustered_block() -> impl Strategy<Value = Block> {
-    (any::<u64>(), prop::collection::vec(-1_000_000i64..1_000_000, 8)).prop_map(|(base, jit)| {
-        let lanes: [u64; 8] = core::array::from_fn(|i| base.wrapping_add(jit[i] as u64));
-        Block::from_u64_lanes(lanes)
-    })
+    (
+        any::<u64>(),
+        prop::collection::vec(-1_000_000i64..1_000_000, 8),
+    )
+        .prop_map(|(base, jit)| {
+            let lanes: [u64; 8] = core::array::from_fn(|i| base.wrapping_add(jit[i] as u64));
+            Block::from_u64_lanes(lanes)
+        })
 }
 
 proptest! {

@@ -129,7 +129,11 @@ mod tests {
 
     #[test]
     fn from_geometry() {
-        let geom = LlcGeometry { sets: 128, sram_ways: 4, nvm_ways: 12 };
+        let geom = LlcGeometry {
+            sets: 128,
+            sram_ways: 4,
+            nvm_ways: 12,
+        };
         let cfg = HybridConfig::from_geometry(geom, Policy::Bh);
         assert_eq!((cfg.sets, cfg.sram_ways, cfg.nvm_ways), (128, 4, 12));
     }

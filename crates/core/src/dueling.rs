@@ -109,7 +109,10 @@ impl SetDueling {
     ///
     /// Panics unless `0 <= smoothing < 1`.
     pub fn set_smoothing(&mut self, smoothing: f64) {
-        assert!((0.0..1.0).contains(&smoothing), "smoothing must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&smoothing),
+            "smoothing must be in [0, 1)"
+        );
         self.smoothing = smoothing;
     }
 

@@ -94,7 +94,9 @@ impl HybridLlc {
             assert_eq!(cfg.nvm_ways, 0, "NVM ways require an array");
         }
         let dueling = matches!(cfg.policy, Policy::CpSd { .. }).then(|| {
-            let Policy::CpSd { th, tw } = cfg.policy else { unreachable!() };
+            let Policy::CpSd { th, tw } = cfg.policy else {
+                unreachable!()
+            };
             let mut d = SetDueling::new(th, tw, cfg.epoch_cycles);
             d.set_smoothing(cfg.dueling_smoothing);
             d
@@ -192,12 +194,20 @@ impl HybridLlc {
     /// Looks up a resident block.
     fn find(&self, set: usize, block: u64) -> Option<(Part, usize)> {
         for way in 0..self.sram_ways {
-            if self.line(Part::Sram, set, way).as_ref().is_some_and(|l| l.block == block) {
+            if self
+                .line(Part::Sram, set, way)
+                .as_ref()
+                .is_some_and(|l| l.block == block)
+            {
                 return Some((Part::Sram, way));
             }
         }
         for way in 0..self.nvm_ways {
-            if self.line(Part::Nvm, set, way).as_ref().is_some_and(|l| l.block == block) {
+            if self
+                .line(Part::Nvm, set, way)
+                .as_ref()
+                .is_some_and(|l| l.block == block)
+            {
                 return Some((Part::Nvm, way));
             }
         }
@@ -211,7 +221,8 @@ impl HybridLlc {
 
     /// Where `block` currently lives, if resident.
     pub fn locate(&self, block: u64) -> Option<Part> {
-        self.find(set_index(block, self.sets), block).map(|(p, _)| p)
+        self.find(set_index(block, self.sets), block)
+            .map(|(p, _)| p)
     }
 
     /// The exact (part, way) a resident block occupies (diagnostics).
@@ -483,7 +494,8 @@ impl HybridLlc {
         if self.policy == Policy::LHybrid {
             if let Some(lb_way) = self.most_recent_lb_way(set) {
                 // Only migrate when SRAM is actually full.
-                let has_empty = (0..self.sram_ways).any(|w| self.line(Part::Sram, set, w).is_none());
+                let has_empty =
+                    (0..self.sram_ways).any(|w| self.line(Part::Sram, set, w).is_none());
                 if !has_empty {
                     let lb = self.take(Part::Sram, set, lb_way).unwrap();
                     self.place_nvm(now, set, lb, true);
@@ -645,7 +657,13 @@ impl LlcPort for HybridLlc {
             }
         }
 
-        LlcResponse { hit: true, nvm: part == Part::Nvm, compressed, reuse, extra_cycles }
+        LlcResponse {
+            hit: true,
+            nvm: part == Part::Nvm,
+            compressed,
+            reuse,
+            extra_cycles,
+        }
     }
 
     fn insert(

@@ -28,7 +28,14 @@ pub struct LineState {
 impl LineState {
     /// Creates a freshly inserted line.
     pub fn new(block: u64, dirty: bool, reuse: ReuseClass, cb_size: u8, lru: u64) -> Self {
-        LineState { block, dirty, reuse, cb_size, hits: 0, lru }
+        LineState {
+            block,
+            dirty,
+            reuse,
+            cb_size,
+            hits: 0,
+            lru,
+        }
     }
 
     /// Extended-compressed-block size: CB + CE + SECDED, i.e. `cb_size + 2`

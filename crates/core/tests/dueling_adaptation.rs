@@ -8,16 +8,21 @@ const SETS: usize = 64;
 const EPOCH: u64 = 4_000;
 
 fn llc() -> HybridLlc {
-    HybridLlc::new(
-        &HybridConfig::new(SETS, 4, 12, Policy::cp_sd()).with_epoch_cycles(EPOCH),
-    )
+    HybridLlc::new(&HybridConfig::new(SETS, 4, 12, Policy::cp_sd()).with_epoch_cycles(EPOCH))
 }
 
 /// Drives a working set of `blocks_per_set` same-size blocks round-robin
 /// through every set for `rounds` passes, returning the final follower
 /// CP_th. Blocks are always reloaded on a miss (insert-after-miss), like a
 /// loop that keeps revisiting its arrays.
-fn run_uniform(llc: &mut HybridLlc, size: u8, blocks_per_set: u64, rounds: u64, t0: u64, tag: u64) -> u64 {
+fn run_uniform(
+    llc: &mut HybridLlc,
+    size: u8,
+    blocks_per_set: u64,
+    rounds: u64,
+    t0: u64,
+    tag: u64,
+) -> u64 {
     let mut data = ConstSizeData::new(size);
     let mut now = t0;
     for _ in 0..rounds {
@@ -43,7 +48,10 @@ fn follower_threshold_tracks_block_size() {
     let mut c = llc();
     run_uniform(&mut c, 50, 12, 60, 0, 0);
     let cp_th = c.dueling().unwrap().current_cp_th();
-    assert!(cp_th >= 51, "expected winner >= 51 for 50-byte blocks, got {cp_th}");
+    assert!(
+        cp_th >= 51,
+        "expected winner >= 51 for 50-byte blocks, got {cp_th}"
+    );
 }
 
 #[test]
@@ -57,7 +65,10 @@ fn follower_threshold_tracks_small_blocks_too() {
     // The phase change brings a *new* 60-byte working set.
     run_uniform(&mut c, 60, 12, 60, now, 1);
     let cp_th = c.dueling().unwrap().current_cp_th();
-    assert_eq!(cp_th, 64, "phase change to 60-byte blocks must drive CP_th to 64");
+    assert_eq!(
+        cp_th, 64,
+        "phase change to 60-byte blocks must drive CP_th to 64"
+    );
 }
 
 #[test]
@@ -65,11 +76,18 @@ fn epoch_history_reflects_the_workload() {
     let mut c = llc();
     run_uniform(&mut c, 50, 12, 60, 0, 0);
     let history = c.dueling().unwrap().history();
-    assert!(history.len() > 5, "expected several epochs, got {}", history.len());
+    assert!(
+        history.len() > 5,
+        "expected several epochs, got {}",
+        history.len()
+    );
     // Across the converged tail, large-CP_th candidates collect more hits
     // than the small ones.
     let tail = &history[history.len() / 2..];
     let small: u64 = tail.iter().map(|e| e.hits[0] + e.hits[1]).sum();
     let large: u64 = tail.iter().map(|e| e.hits[4] + e.hits[5]).sum();
-    assert!(large > small, "large CP_th candidates must win: {large} !> {small}");
+    assert!(
+        large > small,
+        "large CP_th candidates must win: {large} !> {small}"
+    );
 }

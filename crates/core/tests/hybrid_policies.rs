@@ -114,7 +114,11 @@ fn bh_cp_uses_partially_faulty_frames_for_compressed_blocks() {
     for i in 0..4 {
         c.insert(0, set0_block(i), false, ReuseClass::None, &mut d);
     }
-    assert_eq!(c.stats().nvm_inserts, 0, "65-byte frames cannot hold 66-byte ECBs");
+    assert_eq!(
+        c.stats().nvm_inserts,
+        0,
+        "65-byte frames cannot hold 66-byte ECBs"
+    );
     // An uncompressible 5th block must replace an SRAM block (global fit-LRU).
     c.insert(0, set0_block(4), false, ReuseClass::None, &mut d);
     assert_eq!(c.stats().nvm_inserts, 0);
@@ -146,8 +150,16 @@ fn ca_steers_by_compressed_size() {
     let mut d = MapData::default().with(100 * 32, 22).with(101 * 32, 57);
     c.insert(0, 100 * 32, false, ReuseClass::None, &mut d);
     c.insert(0, 101 * 32, false, ReuseClass::None, &mut d);
-    assert_eq!(c.locate(100 * 32), Some(Part::Nvm), "small block belongs in NVM");
-    assert_eq!(c.locate(101 * 32), Some(Part::Sram), "big block belongs in SRAM");
+    assert_eq!(
+        c.locate(100 * 32),
+        Some(Part::Nvm),
+        "small block belongs in NVM"
+    );
+    assert_eq!(
+        c.locate(101 * 32),
+        Some(Part::Sram),
+        "big block belongs in SRAM"
+    );
 }
 
 #[test]
@@ -228,7 +240,7 @@ fn ca_rwr_hit_classification() {
 fn ca_rwr_migrates_read_reuse_sram_victims_to_nvm() {
     let mut c = llc(Policy::CaRwr { cp_th: 37 });
     let mut big = ConstSizeData::new(50); // big: goes to SRAM, LCR: fits NVM
-    // Fill SRAM ways of set 0 with no-reuse big blocks.
+                                          // Fill SRAM ways of set 0 with no-reuse big blocks.
     for i in 0..4 {
         c.insert(0, set0_block(i), false, ReuseClass::None, &mut big);
     }
@@ -308,8 +320,8 @@ fn cp_sd_records_sampler_writes() {
     let mut d = ConstSizeData::new(20);
     c.insert(0, 3, false, ReuseClass::None, &mut d); // sampler set 3, NVM
     c.insert(0, 40, false, ReuseClass::None, &mut d); // follower set 8
-    // Writes recorded only for the sampler (internal counters are private;
-    // verified via the epoch record).
+                                                      // Writes recorded only for the sampler (internal counters are private;
+                                                      // verified via the epoch record).
     c.request(2_000_001, 777, LlcReq::GetS); // roll the epoch
     let rec = c.dueling().unwrap().history()[0];
     assert_eq!(rec.writes[3], 22);
@@ -436,7 +448,11 @@ fn clean_reinsert_of_resident_block_writes_nothing() {
     c.insert(0, 77, false, ReuseClass::None, &mut d);
     let written = c.stats().nvm_bytes_written;
     c.insert(1, 77, false, ReuseClass::None, &mut d);
-    assert_eq!(c.stats().nvm_bytes_written, written, "silent LRU refresh expected");
+    assert_eq!(
+        c.stats().nvm_bytes_written,
+        written,
+        "silent LRU refresh expected"
+    );
     assert_eq!(c.stats().nvm_inserts, 1);
 }
 
@@ -466,7 +482,10 @@ fn nvm_hit_reports_compression_latency_flag() {
         bh.insert(0, set0_block(i), false, ReuseClass::None, &mut d64);
     }
     // Find one NVM-resident block; its hits must not claim compression.
-    let nvm_block = (0..16).map(set0_block).find(|&b| bh.locate(b) == Some(Part::Nvm)).unwrap();
+    let nvm_block = (0..16)
+        .map(set0_block)
+        .find(|&b| bh.locate(b) == Some(Part::Nvm))
+        .unwrap();
     let r = bh.request(1, nvm_block, LlcReq::GetS);
     assert!(r.nvm && !r.compressed);
 }

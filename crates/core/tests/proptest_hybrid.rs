@@ -17,7 +17,9 @@ impl DataModel for HashSizeData {
     fn compressed_size(&mut self, block: u64) -> u8 {
         // Sticky pseudo-random size in 1..=64.
         let h = block.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58;
-        [1u8, 8, 15, 19, 22, 29, 33, 34, 36, 43, 49, 50, 57, 64, 64, 64][h as usize % 16]
+        [
+            1u8, 8, 15, 19, 22, 29, 33, 34, 36, 43, 49, 50, 57, 64, 64, 64,
+        ][h as usize % 16]
     }
 }
 

@@ -19,7 +19,10 @@ fn read_right_after_write_waits() {
     c.insert(100, 0, false, ReuseClass::None, &mut d);
     let r = c.request(105, 0, LlcReq::GetS);
     assert!(r.hit && r.nvm);
-    assert_eq!(r.extra_cycles, 15, "read at 105 must wait for the write ending at 120");
+    assert_eq!(
+        r.extra_cycles, 15,
+        "read at 105 must wait for the write ending at 120"
+    );
     assert_eq!(c.stats().write_stall_cycles, 15);
 }
 
@@ -53,7 +56,11 @@ fn wait_is_capped_at_one_write_duration() {
         c.insert(100, i * 32, false, ReuseClass::None, &mut d);
     }
     let r = c.request(101, 0, LlcReq::GetS);
-    assert!(r.extra_cycles <= 20, "wait {} exceeds one write duration", r.extra_cycles);
+    assert!(
+        r.extra_cycles <= 20,
+        "wait {} exceeds one write duration",
+        r.extra_cycles
+    );
 }
 
 #[test]

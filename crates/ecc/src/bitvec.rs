@@ -36,7 +36,10 @@ impl BitVec {
     ///
     /// Panics if `bytes` holds fewer than `len` bits.
     pub fn from_bytes(bytes: &[u8], len: usize) -> Self {
-        assert!(bytes.len() * 8 >= len, "byte slice too short for {len} bits");
+        assert!(
+            bytes.len() * 8 >= len,
+            "byte slice too short for {len} bits"
+        );
         let mut v = BitVec::zeros(len);
         for i in 0..len {
             if bytes[i / 8] >> (i % 8) & 1 == 1 {

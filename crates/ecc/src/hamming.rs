@@ -190,7 +190,9 @@ mod tests {
         let mut v = BitVec::zeros(bits);
         let mut x = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
         for i in 0..bits {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             if x >> 63 == 1 {
                 v.set(i, true);
             }

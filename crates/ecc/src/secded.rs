@@ -188,7 +188,10 @@ mod tests {
         let mut word = codec.encode(0x1, &data);
         word.flip(400);
         match codec.decode(&word) {
-            Decoded::Corrected { position, data: payload } => {
+            Decoded::Corrected {
+                position,
+                data: payload,
+            } => {
                 assert_eq!(position, 400);
                 let (ce, bytes) = FrameCodec::split_payload(&payload);
                 assert_eq!((ce, bytes), (0x1, data));

@@ -76,17 +76,28 @@ pub fn run_phase(
         Some(a) => HybridLlc::with_array(&setup.llc, Some(a)),
         None => HybridLlc::new(&setup.llc),
     };
-    let mut h = Hierarchy::new(&setup.system, llc, mix.data_model_with(setup.compressor, seed));
+    let mut h = Hierarchy::new(
+        &setup.system,
+        llc,
+        mix.data_model_with(setup.compressor, seed),
+    );
     let mut streams = mix.instantiate(setup.scale, seed);
 
     let warm = drive_cycles(&mut h, &mut streams, setup.warmup_cycles);
     h.reset_stats();
-    let measured =
-        drive_cycles(&mut h, &mut streams, setup.warmup_cycles + setup.measure_cycles);
+    let measured = drive_cycles(
+        &mut h,
+        &mut streams,
+        setup.warmup_cycles + setup.measure_cycles,
+    );
 
     let ipc = h.system_ipc();
     let llc_stats = *h.llc().stats();
-    let epochs = h.llc().dueling().map(|d| d.history().to_vec()).unwrap_or_default();
+    let epochs = h
+        .llc()
+        .dueling()
+        .map(|d| d.history().to_vec())
+        .unwrap_or_default();
     let frame_bytes_written = h
         .llc_mut()
         .array_mut()

@@ -193,7 +193,11 @@ mod tests {
     #[test]
     fn bh_forecast_reaches_half_capacity() {
         let series = Forecast::new(tiny(Policy::Bh)).run(&mixes()[0], 3);
-        assert!(series.points.len() >= 3, "too few samples: {}", series.points.len());
+        assert!(
+            series.points.len() >= 3,
+            "too few samples: {}",
+            series.points.len()
+        );
         let life = series.lifetime_seconds(0.5);
         assert!(life.is_some(), "BH never reached 50% capacity: {series:?}");
         // Capacity is non-increasing.

@@ -32,7 +32,10 @@ pub(crate) const SECONDS_PER_MONTH: f64 = 30.44 * SECONDS_PER_DAY;
 impl ForecastSeries {
     /// Creates an empty series with a label.
     pub fn new(label: impl Into<String>) -> Self {
-        ForecastSeries { label: label.into(), points: Vec::new() }
+        ForecastSeries {
+            label: label.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Time (seconds) at which capacity first reaches `target`, linearly
@@ -87,7 +90,11 @@ impl ForecastSeries {
             let (a, b) = (&w[0], &w[1]);
             if t <= b.time_seconds {
                 let span = b.time_seconds - a.time_seconds;
-                let f = if span > 0.0 { (t - a.time_seconds) / span } else { 1.0 };
+                let f = if span > 0.0 {
+                    (t - a.time_seconds) / span
+                } else {
+                    1.0
+                };
                 let lerp = |x: f64, y: f64| x + f * (y - x);
                 return Some(ForecastPoint {
                     time_seconds: t,
@@ -127,11 +134,13 @@ impl ForecastSeries {
                 capacity: samples.iter().map(|p| p.capacity).sum::<f64>() / m,
                 ipc: samples.iter().map(|p| p.ipc).sum::<f64>() / m,
                 hit_rate: samples.iter().map(|p| p.hit_rate).sum::<f64>() / m,
-                nvm_bytes_per_cycle: samples.iter().map(|p| p.nvm_bytes_per_cycle).sum::<f64>()
-                    / m,
+                nvm_bytes_per_cycle: samples.iter().map(|p| p.nvm_bytes_per_cycle).sum::<f64>() / m,
             });
         }
-        ForecastSeries { label: label.into(), points }
+        ForecastSeries {
+            label: label.into(),
+            points,
+        }
     }
 
     /// Time-weighted mean IPC up to `until_seconds` (or the whole series).
@@ -166,7 +175,13 @@ mod tests {
     use super::*;
 
     fn p(t: f64, cap: f64, ipc: f64) -> ForecastPoint {
-        ForecastPoint { time_seconds: t, capacity: cap, ipc, hit_rate: 0.5, nvm_bytes_per_cycle: 1.0 }
+        ForecastPoint {
+            time_seconds: t,
+            capacity: cap,
+            ipc,
+            hit_rate: 0.5,
+            nvm_bytes_per_cycle: 1.0,
+        }
     }
 
     #[test]
@@ -183,13 +198,19 @@ mod tests {
 
     #[test]
     fn lifetime_exact_sample() {
-        let s = ForecastSeries { label: "x".into(), points: vec![p(0.0, 1.0, 2.0), p(50.0, 0.5, 1.0)] };
+        let s = ForecastSeries {
+            label: "x".into(),
+            points: vec![p(0.0, 1.0, 2.0), p(50.0, 0.5, 1.0)],
+        };
         assert_eq!(s.lifetime_seconds(0.5), Some(50.0));
     }
 
     #[test]
     fn unit_conversions() {
-        let s = ForecastSeries { label: "x".into(), points: vec![p(0.0, 1.0, 2.0), p(86_400.0, 0.5, 1.0)] };
+        let s = ForecastSeries {
+            label: "x".into(),
+            points: vec![p(0.0, 1.0, 2.0), p(86_400.0, 0.5, 1.0)],
+        };
         assert!((s.lifetime_days(0.5).unwrap() - 1.0).abs() < 1e-12);
         assert!((s.lifetime_months(0.5).unwrap() - 1.0 / 30.44).abs() < 1e-9);
     }
@@ -208,7 +229,10 @@ mod tests {
 
     #[test]
     fn sample_at_interpolates_and_clamps() {
-        let s = ForecastSeries { label: "x".into(), points: vec![p(10.0, 1.0, 2.0), p(20.0, 0.5, 1.0)] };
+        let s = ForecastSeries {
+            label: "x".into(),
+            points: vec![p(10.0, 1.0, 2.0), p(20.0, 0.5, 1.0)],
+        };
         assert_eq!(s.sample_at(5.0).unwrap().capacity, 1.0); // clamp left
         assert_eq!(s.sample_at(30.0).unwrap().capacity, 0.5); // clamp right
         let mid = s.sample_at(15.0).unwrap();
@@ -218,8 +242,14 @@ mod tests {
 
     #[test]
     fn average_over_runs() {
-        let a = ForecastSeries { label: "a".into(), points: vec![p(0.0, 1.0, 2.0), p(100.0, 0.5, 1.0)] };
-        let b = ForecastSeries { label: "b".into(), points: vec![p(0.0, 1.0, 4.0), p(50.0, 0.5, 2.0)] };
+        let a = ForecastSeries {
+            label: "a".into(),
+            points: vec![p(0.0, 1.0, 2.0), p(100.0, 0.5, 1.0)],
+        };
+        let b = ForecastSeries {
+            label: "b".into(),
+            points: vec![p(0.0, 1.0, 4.0), p(50.0, 0.5, 2.0)],
+        };
         let avg = ForecastSeries::average("avg", &[a, b], 3);
         assert_eq!(avg.points.len(), 3);
         assert!((avg.points[0].ipc - 3.0).abs() < 1e-12);

@@ -102,7 +102,10 @@ impl NvmArray {
     }
 
     fn idx(&self, set: usize, way: usize) -> usize {
-        assert!(set < self.sets && way < self.ways, "frame ({set},{way}) out of range");
+        assert!(
+            set < self.sets && way < self.ways,
+            "frame ({set},{way}) out of range"
+        );
         set * self.ways + way
     }
 
@@ -163,7 +166,12 @@ impl NvmArray {
     /// Applies `byte_writes` of uniformly-spread wear to a frame, honouring
     /// the disabling granularity. Returns newly failed bytes (empty for an
     /// already-disabled frame).
-    pub fn apply_uniform_wear(&mut self, set: usize, way: usize, byte_writes: f64) -> Vec<WearEvent> {
+    pub fn apply_uniform_wear(
+        &mut self,
+        set: usize,
+        way: usize,
+        byte_writes: f64,
+    ) -> Vec<WearEvent> {
         let i = self.idx(set, way);
         if self.disabled[i] {
             return Vec::new();
@@ -284,7 +292,13 @@ mod tests {
 
     fn small_array(granularity: DisableGranularity) -> NvmArray {
         let mut rng = StdRng::seed_from_u64(5);
-        NvmArray::new(4, 2, &EnduranceModel::new(100.0, 0.0), granularity, &mut rng)
+        NvmArray::new(
+            4,
+            2,
+            &EnduranceModel::new(100.0, 0.0),
+            granularity,
+            &mut rng,
+        )
     }
 
     #[test]
@@ -338,7 +352,11 @@ mod tests {
             let mut a = NvmArray::new(16, 4, &EnduranceModel::new(1e6, 0.2), g, &mut rng);
             a.degrade_to(0.8, &mut rng);
             assert!(a.capacity_fraction() <= 0.8);
-            assert!(a.capacity_fraction() > 0.5, "overshot: {}", a.capacity_fraction());
+            assert!(
+                a.capacity_fraction() > 0.5,
+                "overshot: {}",
+                a.capacity_fraction()
+            );
         }
     }
 

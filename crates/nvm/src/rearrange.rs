@@ -19,7 +19,11 @@ use crate::fault_map::{FaultMap, FRAME_BYTES};
 /// # Panics
 ///
 /// Panics if `ecb_len` exceeds the frame's live-byte count.
-pub fn index_vector(fault_map: &FaultMap, offset: usize, ecb_len: usize) -> [Option<u8>; FRAME_BYTES] {
+pub fn index_vector(
+    fault_map: &FaultMap,
+    offset: usize,
+    ecb_len: usize,
+) -> [Option<u8>; FRAME_BYTES] {
     assert!(
         ecb_len <= fault_map.live_bytes(),
         "ECB of {ecb_len} bytes cannot fit in a frame with {} live bytes",
@@ -66,7 +70,12 @@ pub fn scatter(ecb: &[u8], fault_map: &FaultMap, offset: usize) -> ([u8; FRAME_B
 /// # Panics
 ///
 /// Panics if `ecb_len` exceeds the frame's live-byte count.
-pub fn gather(recb: &[u8; FRAME_BYTES], fault_map: &FaultMap, offset: usize, ecb_len: usize) -> Vec<u8> {
+pub fn gather(
+    recb: &[u8; FRAME_BYTES],
+    fault_map: &FaultMap,
+    offset: usize,
+    ecb_len: usize,
+) -> Vec<u8> {
     let iv = index_vector(fault_map, offset, ecb_len);
     let mut ecb = vec![0u8; ecb_len];
     for (frame_byte, slot) in iv.iter().enumerate() {

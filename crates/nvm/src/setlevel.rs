@@ -53,7 +53,13 @@ impl StartGap {
     pub fn new(sets: usize, period: u64) -> Self {
         assert!(sets > 0, "need at least one set");
         assert!(period > 0, "gap movement period must be positive");
-        StartGap { sets, gap: sets, start: 0, writes: 0, period }
+        StartGap {
+            sets,
+            gap: sets,
+            start: 0,
+            writes: 0,
+            period,
+        }
     }
 
     /// Number of logical sets.
@@ -156,7 +162,11 @@ mod tests {
             visited.insert(sg.physical_of(0));
             sg.note_write();
         }
-        assert_eq!(visited.len(), sets + 1, "hot set must rotate over every slot");
+        assert_eq!(
+            visited.len(),
+            sets + 1,
+            "hot set must rotate over every slot"
+        );
     }
 
     #[test]

@@ -1,0 +1,272 @@
+//! The `policy × mix × seed × capacity` sweep behind `hllc sweep`.
+
+use hllc_compress::CompressorKind;
+use hllc_core::{HybridConfig, Policy};
+use hllc_forecast::{run_phase, PhaseSetup};
+use hllc_nvm::NvmArray;
+use hllc_sim::SystemConfig;
+use hllc_trace::mixes;
+use serde_json::{json, Value};
+
+use crate::pool::run_indexed;
+use crate::seed::job_seed;
+
+/// The experiment grid: one job per `policy × capacity × mix × replicate`.
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    /// Policies to sweep, as `(label, policy)` pairs.
+    pub policies: Vec<(String, Policy)>,
+    /// Table V mix indices, 0-based.
+    pub mixes: Vec<usize>,
+    /// Seed replicates per `(policy, capacity, mix)` cell.
+    pub seeds: usize,
+    /// NVM capacity fractions to pre-degrade to (1.0 = pristine).
+    pub capacities: Vec<f64>,
+    /// Base seed; every job derives its own via [`job_seed`].
+    pub base_seed: u64,
+    /// LLC sets (4096 = the paper's full-scale 4 MB LLC).
+    pub sets: usize,
+    /// Warm-up cycles before statistics reset.
+    pub warmup_cycles: f64,
+    /// Measured cycles after warm-up.
+    pub measure_cycles: f64,
+    /// Worker threads. Any value produces byte-identical reports.
+    pub threads: usize,
+}
+
+impl SweepSpec {
+    /// Total number of jobs in the grid.
+    pub fn job_count(&self) -> usize {
+        self.policies.len() * self.capacities.len() * self.mixes.len() * self.seeds
+    }
+}
+
+/// One cell of the grid, measured.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// Position in the deterministic job enumeration.
+    pub index: usize,
+    /// Policy label from the spec.
+    pub policy: String,
+    /// Table V mix number, 1-based (as printed by `hllc mixes`).
+    pub mix: usize,
+    /// Replicate number within the cell, 0-based.
+    pub rep: usize,
+    /// NVM capacity fraction the array was degraded to.
+    pub capacity: f64,
+    /// The seed this job ran with (`job_seed(base_seed, index)`).
+    pub seed: u64,
+    /// Arithmetic-mean IPC across the cores.
+    pub ipc: f64,
+    /// LLC hit rate over the measured window.
+    pub hit_rate: f64,
+    /// NVM bytes written over the measured window.
+    pub nvm_bytes_written: u64,
+}
+
+/// A completed sweep: the spec it ran and its results in job order.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// The grid that was run.
+    pub spec: SweepSpec,
+    /// One result per job, indexed by job order.
+    pub results: Vec<JobResult>,
+}
+
+/// Builds the (optionally degraded) NVM array for a single-phase run:
+/// `None` at full capacity (the phase samples a fresh array itself). The
+/// degradation RNG is keyed off `seed` so it follows the per-job stream.
+pub fn degraded_array(llc_cfg: &HybridConfig, capacity: f64, seed: u64) -> Option<NvmArray> {
+    use rand::SeedableRng;
+    if capacity >= 1.0 {
+        return None;
+    }
+    let mut llc = hllc_core::HybridLlc::new(llc_cfg);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x0DE6_AADE);
+    if let Some(a) = llc.array_mut() {
+        a.degrade_to(capacity, &mut rng);
+    }
+    llc.into_array()
+}
+
+/// The deterministic job enumeration: policies outermost, replicates
+/// innermost. The order is part of the report format — job `index` both
+/// names the row and derives its seed.
+fn enumerate_jobs(spec: &SweepSpec) -> Vec<(String, Policy, f64, usize, usize)> {
+    let mut jobs = Vec::with_capacity(spec.job_count());
+    for (label, policy) in &spec.policies {
+        for &capacity in &spec.capacities {
+            for &mix in &spec.mixes {
+                for rep in 0..spec.seeds {
+                    jobs.push((label.clone(), *policy, capacity, mix, rep));
+                }
+            }
+        }
+    }
+    jobs
+}
+
+fn run_job(
+    spec: &SweepSpec,
+    index: usize,
+    (label, policy, capacity, mix_index, rep): (String, Policy, f64, usize, usize),
+) -> JobResult {
+    let seed = job_seed(spec.base_seed, index);
+    let mut system = SystemConfig::scaled_down();
+    system.llc.sets = spec.sets;
+    let llc = HybridConfig::from_geometry(system.llc, policy)
+        .with_endurance(1e8, 0.2)
+        .with_epoch_cycles(100_000)
+        .with_dueling_smoothing(0.6);
+    let setup = PhaseSetup {
+        system,
+        llc,
+        warmup_cycles: spec.warmup_cycles,
+        measure_cycles: spec.measure_cycles,
+        scale: PhaseSetup::scale_for_sets(spec.sets),
+        compressor: CompressorKind::Bdi,
+    };
+    let array = degraded_array(&setup.llc, capacity, seed);
+    let (m, _) = run_phase(&setup, &mixes()[mix_index], array, seed);
+    JobResult {
+        index,
+        policy: label,
+        mix: mix_index + 1,
+        rep,
+        capacity,
+        seed,
+        ipc: m.ipc,
+        hit_rate: m.hit_rate,
+        nvm_bytes_written: m.llc.nvm_bytes_written,
+    }
+}
+
+/// Runs the grid on `spec.threads` workers and returns the report. The
+/// report is a pure function of the spec minus its `threads` field.
+pub fn run_sweep(spec: &SweepSpec) -> SweepReport {
+    for &mix in &spec.mixes {
+        assert!(mix < mixes().len(), "mix index {mix} out of range");
+    }
+    let jobs = enumerate_jobs(spec);
+    let results = run_indexed(jobs, spec.threads, |index, job| run_job(spec, index, job));
+    SweepReport {
+        spec: spec.clone(),
+        results,
+    }
+}
+
+/// Renders the report as JSON. Keys are emitted in sorted order and the
+/// thread count is deliberately omitted, so structural equality — and hence
+/// serialized byte equality — holds across `--jobs` settings.
+pub fn report_json(report: &SweepReport) -> Value {
+    let spec = &report.spec;
+    let mut summary: Vec<Value> = Vec::new();
+    for (label, _) in &spec.policies {
+        for &capacity in &spec.capacities {
+            // Aggregate in job-index order so float sums are reproducible.
+            let cell: Vec<&JobResult> = report
+                .results
+                .iter()
+                .filter(|r| &r.policy == label && r.capacity == capacity)
+                .collect();
+            if cell.is_empty() {
+                continue;
+            }
+            let n = cell.len() as f64;
+            let ipc: f64 = cell.iter().map(|r| r.ipc).sum::<f64>() / n;
+            let hit: f64 = cell.iter().map(|r| r.hit_rate).sum::<f64>() / n;
+            let bytes: u64 = cell.iter().map(|r| r.nvm_bytes_written).sum();
+            summary.push(json!({
+                "policy": label,
+                "capacity": capacity,
+                "mean_ipc": ipc,
+                "mean_hit_rate": hit,
+                "total_nvm_bytes_written": bytes,
+            }));
+        }
+    }
+    json!({
+        "experiment": "sweep",
+        "base_seed": spec.base_seed,
+        "sets": spec.sets,
+        "warmup_cycles": spec.warmup_cycles,
+        "measure_cycles": spec.measure_cycles,
+        "policies": spec.policies.iter().map(|(l, _)| l.as_str()).collect::<Vec<_>>(),
+        "mixes": spec.mixes.iter().map(|m| m + 1).collect::<Vec<_>>(),
+        "seeds_per_cell": spec.seeds,
+        "capacities": &spec.capacities,
+        "jobs": report.results.iter().map(|r| json!({
+            "index": r.index,
+            "policy": r.policy,
+            "mix": r.mix,
+            "rep": r.rep,
+            "capacity": r.capacity,
+            "seed": r.seed,
+            "ipc": r.ipc,
+            "hit_rate": r.hit_rate,
+            "nvm_bytes_written": r.nvm_bytes_written,
+        })).collect::<Vec<_>>(),
+        "summary": summary,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(threads: usize) -> SweepSpec {
+        SweepSpec {
+            policies: vec![("BH".into(), Policy::Bh), ("CP_SD".into(), Policy::cp_sd())],
+            mixes: vec![0],
+            seeds: 2,
+            capacities: vec![1.0, 0.7],
+            base_seed: 42,
+            sets: 64,
+            warmup_cycles: 5_000.0,
+            measure_cycles: 10_000.0,
+            threads,
+        }
+    }
+
+    #[test]
+    fn job_enumeration_is_the_full_grid() {
+        let spec = tiny_spec(1);
+        let jobs = enumerate_jobs(&spec);
+        assert_eq!(jobs.len(), spec.job_count());
+        assert_eq!(jobs.len(), 8);
+        // Policies outermost, replicates innermost.
+        assert_eq!(jobs[0].0, "BH");
+        assert_eq!(jobs[1].4, 1);
+        assert_eq!(jobs[4].0, "CP_SD");
+    }
+
+    #[test]
+    fn sweep_produces_activity_and_ordered_results() {
+        let report = run_sweep(&tiny_spec(1));
+        assert_eq!(report.results.len(), 8);
+        for (i, r) in report.results.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert_eq!(r.seed, job_seed(42, i));
+            assert!(r.ipc > 0.0, "job {i} idle");
+        }
+    }
+
+    #[test]
+    fn report_json_has_summary_per_cell() {
+        let report = run_sweep(&tiny_spec(2));
+        let v = report_json(&report);
+        assert_eq!(v.get("summary").and_then(Value::as_array).unwrap().len(), 4);
+        assert_eq!(v.get("jobs").and_then(Value::as_array).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn degraded_array_none_at_full_capacity() {
+        let spec = tiny_spec(1);
+        let mut system = SystemConfig::scaled_down();
+        system.llc.sets = spec.sets;
+        let cfg = HybridConfig::from_geometry(system.llc, Policy::Bh).with_endurance(1e8, 0.2);
+        assert!(degraded_array(&cfg, 1.0, 1).is_none());
+        let arr = degraded_array(&cfg, 0.8, 1).expect("degraded array");
+        assert!(arr.capacity_fraction() <= 0.8);
+    }
+}

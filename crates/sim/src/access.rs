@@ -31,12 +31,22 @@ pub struct Access {
 impl Access {
     /// Convenience constructor for a load with no instruction gap.
     pub fn load(core: u8, addr: u64) -> Self {
-        Access { core, op: Op::Load, addr, inst_gap: 0 }
+        Access {
+            core,
+            op: Op::Load,
+            addr,
+            inst_gap: 0,
+        }
     }
 
     /// Convenience constructor for a store with no instruction gap.
     pub fn store(core: u8, addr: u64) -> Self {
-        Access { core, op: Op::Store, addr, inst_gap: 0 }
+        Access {
+            core,
+            op: Op::Store,
+            addr,
+            inst_gap: 0,
+        }
     }
 
     /// Returns a copy with the given instruction gap.

@@ -141,7 +141,10 @@ impl<T> Cache<T> {
     ///
     /// Panics in debug builds if the block is already present.
     pub fn insert(&mut self, block: u64, dirty: bool, aux: T) -> Option<Evicted<T>> {
-        debug_assert!(self.peek(block).is_none(), "block {block:#x} already present");
+        debug_assert!(
+            self.peek(block).is_none(),
+            "block {block:#x} already present"
+        );
         self.stamp += 1;
         let stamp = self.stamp;
         let range = self.set_range(block);
@@ -168,7 +171,12 @@ impl<T> Cache<T> {
             dirty: e.dirty,
             aux: e.aux,
         });
-        self.entries[victim_idx] = Some(Entry { block, dirty, aux, lru: stamp });
+        self.entries[victim_idx] = Some(Entry {
+            block,
+            dirty,
+            aux,
+            lru: stamp,
+        });
         evicted
     }
 
@@ -178,7 +186,11 @@ impl<T> Cache<T> {
         for i in range {
             if self.entries[i].as_ref().is_some_and(|e| e.block == block) {
                 let e = self.entries[i].take().unwrap();
-                return Some(Evicted { block: e.block, dirty: e.dirty, aux: e.aux });
+                return Some(Evicted {
+                    block: e.block,
+                    dirty: e.dirty,
+                    aux: e.aux,
+                });
             }
         }
         None

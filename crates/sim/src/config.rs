@@ -70,7 +70,11 @@ impl SystemConfig {
             l1_ways: 4,
             l2_sets: 128,
             l2_ways: 16,
-            llc: LlcGeometry { sets: 4096, sram_ways: 4, nvm_ways: 12 },
+            llc: LlcGeometry {
+                sets: 4096,
+                sram_ways: 4,
+                nvm_ways: 12,
+            },
             timing: TimingModel::paper_default(),
             dram: None,
         }
@@ -87,7 +91,11 @@ impl SystemConfig {
             l1_ways: 4,
             l2_sets: 32,
             l2_ways: 16,
-            llc: LlcGeometry { sets: 512, sram_ways: 4, nvm_ways: 12 },
+            llc: LlcGeometry {
+                sets: 512,
+                sram_ways: 4,
+                nvm_ways: 12,
+            },
             timing: TimingModel::paper_default(),
             dram: None,
         }

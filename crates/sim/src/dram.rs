@@ -81,7 +81,13 @@ impl Dram {
     pub fn new(cfg: DramConfig) -> Self {
         assert!(cfg.banks > 0, "need at least one bank");
         assert!(cfg.blocks_per_row > 0, "rows must hold blocks");
-        Dram { cfg, banks: vec![Bank::default(); cfg.banks], row_hits: 0, row_misses: 0, conflicts: 0 }
+        Dram {
+            cfg,
+            banks: vec![Bank::default(); cfg.banks],
+            row_hits: 0,
+            row_misses: 0,
+            conflicts: 0,
+        }
     }
 
     fn locate(&self, block: u64) -> (usize, u64) {
@@ -192,10 +198,15 @@ mod tests {
         let mut d = dram();
         let mut x = 0x12345u64;
         for i in 0..500 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             d.access(x >> 20, i * 500);
         }
         let (hits, misses, conflicts) = d.stats();
-        assert!(misses + conflicts > hits, "random stream should thrash rows");
+        assert!(
+            misses + conflicts > hits,
+            "random stream should thrash rows"
+        );
     }
 }

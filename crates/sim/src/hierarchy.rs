@@ -93,8 +93,12 @@ impl<L: LlcPort, D: DataModel> Hierarchy<L, D> {
     pub fn new(cfg: &SystemConfig, llc: L, data: D) -> Self {
         assert!(cfg.cores <= 8, "directory supports at most 8 cores");
         Hierarchy {
-            l1: (0..cfg.cores).map(|_| Cache::new(cfg.l1_sets, cfg.l1_ways)).collect(),
-            l2: (0..cfg.cores).map(|_| Cache::new(cfg.l2_sets, cfg.l2_ways)).collect(),
+            l1: (0..cfg.cores)
+                .map(|_| Cache::new(cfg.l1_sets, cfg.l1_ways))
+                .collect(),
+            l2: (0..cfg.cores)
+                .map(|_| Cache::new(cfg.l2_sets, cfg.l2_ways))
+                .collect(),
             llc,
             data,
             timing: cfg.timing,
@@ -215,7 +219,11 @@ impl<L: LlcPort, D: DataModel> Hierarchy<L, D> {
         }
 
         // LLC request (fetch on write miss ⇒ stores issue GetX).
-        let req = if op == Op::Store { LlcReq::GetX } else { LlcReq::GetS };
+        let req = if op == Op::Store {
+            LlcReq::GetX
+        } else {
+            LlcReq::GetS
+        };
         let resp = self.llc.request(now, block, req);
         let (level, latency, state, reuse) = if resp.hit {
             let level = match (resp.nvm, resp.compressed) {
@@ -224,14 +232,22 @@ impl<L: LlcPort, D: DataModel> Hierarchy<L, D> {
                 (true, true) => ServiceLevel::LlcNvmCompressed,
             };
             let latency = self.timing.latency(level) + resp.extra_cycles;
-            let state = if op == Op::Store { L2State::M } else { L2State::S };
+            let state = if op == Op::Store {
+                L2State::M
+            } else {
+                L2State::S
+            };
             (level, latency, state, resp.reuse)
         } else {
             let latency = match &mut self.dram {
                 Some(dram) => dram.access(block, now),
                 None => self.timing.latency(ServiceLevel::Memory),
             };
-            let state = if op == Op::Store { L2State::M } else { L2State::E };
+            let state = if op == Op::Store {
+                L2State::M
+            } else {
+                L2State::E
+            };
             (ServiceLevel::Memory, latency, state, ReuseClass::None)
         };
 
@@ -246,15 +262,16 @@ impl<L: LlcPort, D: DataModel> Hierarchy<L, D> {
     /// Grants write permission for a block already held in L2: S requires a
     /// `GetX` through the LLC (invalidate-on-hit); E/M upgrade silently.
     fn ensure_writable(&mut self, core: usize, block: u64, now: u64) {
-        let entry = self.l2[core].lookup(block).expect("writable block must be in L2");
+        let entry = self.l2[core]
+            .lookup(block)
+            .expect("writable block must be in L2");
         match entry.aux.state {
             L2State::M => {}
             L2State::E => entry.aux.state = L2State::M,
             L2State::S => {
                 self.stats.upgrades += 1;
                 // Invalidate any remote shared copies first.
-                let remote_mask =
-                    self.directory.get(&block).copied().unwrap_or(0) & !(1u8 << core);
+                let remote_mask = self.directory.get(&block).copied().unwrap_or(0) & !(1u8 << core);
                 if remote_mask != 0 {
                     self.invalidate_remote(core, block, remote_mask);
                 }
@@ -292,7 +309,8 @@ impl<L: LlcPort, D: DataModel> Hierarchy<L, D> {
             // Inclusion: drop the L1 copy of the victim.
             let _ = self.l1[core].invalidate(v.block);
             self.directory_drop(core, v.block);
-            self.llc.insert(now, v.block, v.dirty, v.aux.reuse, &mut self.data);
+            self.llc
+                .insert(now, v.block, v.dirty, v.aux.reuse, &mut self.data);
         }
     }
 
@@ -351,7 +369,8 @@ impl<L: LlcPort, D: DataModel> Hierarchy<L, D> {
             }
             if writeback_dirty {
                 // Ownership of the dirty data transfers to the LLC.
-                self.llc.insert(now, block, true, forwarded_reuse, &mut self.data);
+                self.llc
+                    .insert(now, block, true, forwarded_reuse, &mut self.data);
             }
             self.fill_l2(core, block, L2State::S, forwarded_reuse, now);
             self.fill_l1(core, block);
@@ -388,7 +407,10 @@ impl<L: LlcPort, D: DataModel> Hierarchy<L, D> {
             for core in 0..self.l2.len() {
                 let has = self.l2[core].peek(*block).is_some();
                 let bit = mask & (1 << core) != 0;
-                assert_eq!(has, bit, "directory bit mismatch for block {block:#x} core {core}");
+                assert_eq!(
+                    has, bit,
+                    "directory bit mismatch for block {block:#x} core {core}"
+                );
                 if let Some(e) = self.l2[core].peek(*block) {
                     holders += 1;
                     if e.aux.state != L2State::S {
@@ -399,13 +421,20 @@ impl<L: LlcPort, D: DataModel> Hierarchy<L, D> {
                     }
                 }
             }
-            assert!(!(exclusive && holders > 1), "block {block:#x} exclusive with {holders} holders");
+            assert!(
+                !(exclusive && holders > 1),
+                "block {block:#x} exclusive with {holders} holders"
+            );
         }
         // Every L2-resident block must be in the directory.
         for core in 0..self.l2.len() {
             for e in self.l2[core].iter() {
                 let mask = self.directory.get(&e.block).copied().unwrap_or(0);
-                assert!(mask & (1 << core) != 0, "block {:#x} in L2 {core} missing from directory", e.block);
+                assert!(
+                    mask & (1 << core) != 0,
+                    "block {:#x} in L2 {core} missing from directory",
+                    e.block
+                );
             }
         }
     }
@@ -479,7 +508,15 @@ mod tests {
                     extra_cycles: 0,
                 }
             }
-            fn insert(&mut self, _n: u64, _b: u64, _d: bool, _r: ReuseClass, _dm: &mut dyn DataModel) {}
+            fn insert(
+                &mut self,
+                _n: u64,
+                _b: u64,
+                _d: bool,
+                _r: ReuseClass,
+                _dm: &mut dyn DataModel,
+            ) {
+            }
             fn stats(&self) -> &LlcStats {
                 &self.stats
             }

@@ -124,7 +124,14 @@ pub trait LlcPort {
 
     /// Inserts an L2 victim (clean or dirty). `reuse` is the tag the block
     /// carried in L2. The LLC consults `data` for the compressed size.
-    fn insert(&mut self, now: u64, block: u64, dirty: bool, reuse: ReuseClass, data: &mut dyn DataModel);
+    fn insert(
+        &mut self,
+        now: u64,
+        block: u64,
+        dirty: bool,
+        reuse: ReuseClass,
+        data: &mut dyn DataModel,
+    );
 
     /// Aggregate statistics.
     fn stats(&self) -> &LlcStats;
@@ -150,7 +157,14 @@ impl LlcPort for NullLlc {
         LlcResponse::miss()
     }
 
-    fn insert(&mut self, _now: u64, _block: u64, dirty: bool, _reuse: ReuseClass, _data: &mut dyn DataModel) {
+    fn insert(
+        &mut self,
+        _now: u64,
+        _block: u64,
+        dirty: bool,
+        _reuse: ReuseClass,
+        _data: &mut dyn DataModel,
+    ) {
         self.stats.bypasses += 1;
         if dirty {
             self.stats.writebacks += 1;
@@ -182,7 +196,13 @@ mod tests {
 
     #[test]
     fn stats_hit_rate() {
-        let s = LlcStats { gets: 8, getx: 2, hits: 5, misses: 5, ..Default::default() };
+        let s = LlcStats {
+            gets: 8,
+            getx: 2,
+            hits: 5,
+            misses: 5,
+            ..Default::default()
+        };
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
     }
 }

@@ -40,8 +40,8 @@ fn reading_a_remote_dirty_block_writes_it_back() {
     let mut h = h(2);
     h.access(&Access::store(0, 0x80)); // core 0 owns dirty data (M)
     h.access(&Access::load(1, 0x80)); // core 1 reads: transfer + LLC writeback
-    // The dirty data was handed to the (Null) LLC: one insert with dirty,
-    // which NullLlc counts as a writeback.
+                                      // The dirty data was handed to the (Null) LLC: one insert with dirty,
+                                      // which NullLlc counts as a writeback.
     assert_eq!(h.llc().stats().writebacks, 1);
     h.assert_coherent();
     // Core 0 still has a (now clean, shared) copy.

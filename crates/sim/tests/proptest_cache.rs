@@ -31,7 +31,11 @@ struct Model {
 
 impl Model {
     fn new(sets: usize, ways: usize) -> Self {
-        Model { sets, ways, lists: HashMap::new() }
+        Model {
+            sets,
+            ways,
+            lists: HashMap::new(),
+        }
     }
 
     fn set_of(&self, block: u64) -> usize {
@@ -54,7 +58,11 @@ impl Model {
         let ways = self.ways;
         let set = self.set_of(block);
         let list = self.lists.entry(set).or_default();
-        let victim = if list.len() == ways { Some(list.remove(0)) } else { None };
+        let victim = if list.len() == ways {
+            Some(list.remove(0))
+        } else {
+            None
+        };
         list.push((block, dirty));
         victim
     }
@@ -62,7 +70,9 @@ impl Model {
     fn invalidate(&mut self, block: u64) -> Option<(u64, bool)> {
         let set = self.set_of(block);
         let list = self.lists.entry(set).or_default();
-        list.iter().position(|&(b, _)| b == block).map(|p| list.remove(p))
+        list.iter()
+            .position(|&(b, _)| b == block)
+            .map(|p| list.remove(p))
     }
 }
 

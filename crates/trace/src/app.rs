@@ -96,7 +96,9 @@ impl AppStream {
 
     /// Produces the next reference, stamped with `core`.
     pub fn next_access(&mut self, core: u8) -> Access {
-        let index = self.pattern.next_index(&mut self.state, self.footprint, &mut self.rng);
+        let index = self
+            .pattern
+            .next_index(&mut self.state, self.footprint, &mut self.rng);
         let addr = self.base | (index << 6);
         // A block is writable iff it lies past the read-only prefix and its
         // sticky hash falls below the writable fraction.
@@ -111,7 +113,12 @@ impl AppStream {
         // Exponentially distributed gap around the mean.
         let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
         let gap = (-self.mean_inst_gap * u.ln()).min(10_000.0) as u32;
-        Access { core, op, addr, inst_gap: gap }
+        Access {
+            core,
+            op,
+            addr,
+            inst_gap: gap,
+        }
     }
 }
 
@@ -163,7 +170,9 @@ mod tests {
     #[test]
     fn gap_mean_is_reasonable() {
         let mut s = spec().instantiate(0, 1.0, 4);
-        let total: u64 = (0..20_000).map(|_| u64::from(s.next_access(0).inst_gap)).sum();
+        let total: u64 = (0..20_000)
+            .map(|_| u64::from(s.next_access(0).inst_gap))
+            .sum();
         let mean = total as f64 / 20_000.0;
         assert!((mean - 10.0).abs() < 1.0, "gap mean {mean}");
     }

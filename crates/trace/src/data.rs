@@ -55,7 +55,10 @@ impl WorkloadData {
     /// Switches the compression mechanism used to size blocks (ablation:
     /// the insertion policies are compressor-orthogonal).
     pub fn with_compressor(mut self, kind: CompressorKind) -> Self {
-        assert!(self.sizes.is_empty(), "switch compressors before any sizing");
+        assert!(
+            self.sizes.is_empty(),
+            "switch compressors before any sizing"
+        );
         self.compressor = kind;
         self
     }
@@ -113,7 +116,10 @@ mod tests {
     #[test]
     fn per_slot_profiles() {
         let mut d = WorkloadData::new(
-            vec![Profile::incompressible(), Profile::from_fractions(1.0, 0.0, 0.0, 1.0)],
+            vec![
+                Profile::incompressible(),
+                Profile::from_fractions(1.0, 0.0, 0.0, 1.0),
+            ],
             3,
         );
         // Slot 0: always 64. Slot 1 (all-zero bias 1.0): always 1.
@@ -158,6 +164,9 @@ mod tests {
     fn synthesize_block_matches_class_size() {
         let mut d = WorkloadData::new(vec![Profile::incompressible()], 1);
         let b = d.synthesize_block(9);
-        assert_eq!(hllc_compress::Compressor::new().compressed_size(&b), SynthClass::Incompressible.nominal_size());
+        assert_eq!(
+            hllc_compress::Compressor::new().compressed_size(&b),
+            SynthClass::Incompressible.nominal_size()
+        );
     }
 }

@@ -54,10 +54,16 @@ pub fn mixes() -> Vec<Mix> {
         Mix::from_names("mix 4", ["omnetpp06", "astar06", "milc06", "libquantum06"]),
         Mix::from_names("mix 5", ["xalancbmk06", "leslie3d06", "bwaves17", "mcf17"]),
         Mix::from_names("mix 6", ["lbm17", "xz17", "GemsFDTD06", "wrf06"]),
-        Mix::from_names("mix 7", ["cactuBSSN17", "dealII06", "libquantum06", "xalancbmk06"]),
+        Mix::from_names(
+            "mix 7",
+            ["cactuBSSN17", "dealII06", "libquantum06", "xalancbmk06"],
+        ),
         Mix::from_names("mix 8", ["gobmk06", "milc06", "mcf17", "lbm17"]),
         Mix::from_names("mix 9", ["xz17", "astar06", "bwaves17", "soplex06"]),
-        Mix::from_names("mix 10", ["GemsFDTD06", "omnetpp06", "roms17", "leslie3d06"]),
+        Mix::from_names(
+            "mix 10",
+            ["GemsFDTD06", "omnetpp06", "roms17", "leslie3d06"],
+        ),
     ]
 }
 

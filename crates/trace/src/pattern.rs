@@ -66,7 +66,10 @@ impl Pattern {
 
     /// Creates the mutable walker state for this pattern.
     pub fn start(&self) -> PatternState {
-        PatternState { position: 0, count: 0 }
+        PatternState {
+            position: 0,
+            count: 0,
+        }
     }
 
     /// Produces the next block index in `0..footprint`.
@@ -99,7 +102,11 @@ impl Pattern {
                 state.position % footprint
             }
             Pattern::Random => rng.gen_range(0..footprint),
-            Pattern::LoopHot { stride, hot_fraction, hot_probability } => {
+            Pattern::LoopHot {
+                stride,
+                hot_fraction,
+                hot_probability,
+            } => {
                 if rng.gen::<f64>() < *hot_probability {
                     let hot_blocks = ((footprint as f64 * hot_fraction) as u64).max(1);
                     rng.gen_range(0..hot_blocks)
@@ -108,7 +115,10 @@ impl Pattern {
                     state.position
                 }
             }
-            Pattern::HotCold { hot_fraction, hot_probability } => {
+            Pattern::HotCold {
+                hot_fraction,
+                hot_probability,
+            } => {
                 let hot_blocks = ((footprint as f64 * hot_fraction) as u64).max(1);
                 if rng.gen::<f64>() < *hot_probability {
                     rng.gen_range(0..hot_blocks)
@@ -147,7 +157,9 @@ mod tests {
     fn walk(p: &Pattern, n: usize, footprint: u64) -> Vec<u64> {
         let mut st = p.start();
         let mut rng = StdRng::seed_from_u64(5);
-        (0..n).map(|_| p.next_index(&mut st, footprint, &mut rng)).collect()
+        (0..n)
+            .map(|_| p.next_index(&mut st, footprint, &mut rng))
+            .collect()
     }
 
     #[test]
@@ -177,10 +189,16 @@ mod tests {
 
     #[test]
     fn hot_cold_concentrates() {
-        let p = Pattern::HotCold { hot_fraction: 0.1, hot_probability: 0.9 };
+        let p = Pattern::HotCold {
+            hot_fraction: 0.1,
+            hot_probability: 0.9,
+        };
         let seq = walk(&p, 10_000, 1000);
         let hot_hits = seq.iter().filter(|&&i| i < 100).count();
-        assert!(hot_hits as f64 / 10_000.0 > 0.85, "hot set not hot: {hot_hits}");
+        assert!(
+            hot_hits as f64 / 10_000.0 > 0.85,
+            "hot set not hot: {hot_hits}"
+        );
     }
 
     #[test]
@@ -194,7 +212,11 @@ mod tests {
         // Phase a: consecutive increments; phase b: jumps.
         let increments = seq.windows(2).take(98).filter(|w| w[1] == w[0] + 1).count();
         assert!(increments > 90);
-        let jumps = seq.windows(2).skip(101).filter(|w| w[1] != w[0] + 1).count();
+        let jumps = seq
+            .windows(2)
+            .skip(101)
+            .filter(|w| w[1] != w[0] + 1)
+            .count();
         assert!(jumps > 90);
     }
 }

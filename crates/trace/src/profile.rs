@@ -72,7 +72,10 @@ impl Profile {
     ///
     /// Panics if all weights are zero or any is negative.
     pub fn new(weights: [f64; 10]) -> Self {
-        assert!(weights.iter().all(|&w| w >= 0.0), "weights must be non-negative");
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "weights must be non-negative"
+        );
         let total: f64 = weights.iter().sum();
         assert!(total > 0.0, "at least one weight must be positive");
         let mut cumulative = [0.0; 10];
@@ -97,19 +100,22 @@ impl Profile {
     /// `zero_bias` (0–1) controlling how much of the HCR mass is all-zero
     /// blocks.
     pub fn from_fractions(hcr: f64, lcr: f64, incompressible: f64, zero_bias: f64) -> Self {
-        assert!((hcr + lcr + incompressible - 1.0).abs() < 1e-6, "fractions must sum to 1");
+        assert!(
+            (hcr + lcr + incompressible - 1.0).abs() < 1e-6,
+            "fractions must sum to 1"
+        );
         let z = hcr * zero_bias;
         let rest = hcr - z;
         Profile::new([
             z,
-            rest * 0.15,        // repeated
-            rest * 0.30,        // Δ1
-            rest * 0.25,        // Δ2
-            rest * 0.20,        // Δ3
-            rest * 0.10,        // Δ4
-            lcr * 0.40,         // Δ5
-            lcr * 0.35,         // Δ6
-            lcr * 0.25,         // Δ7
+            rest * 0.15, // repeated
+            rest * 0.30, // Δ1
+            rest * 0.25, // Δ2
+            rest * 0.20, // Δ3
+            rest * 0.10, // Δ4
+            lcr * 0.40,  // Δ5
+            lcr * 0.35,  // Δ6
+            lcr * 0.25,  // Δ7
             incompressible,
         ])
     }
@@ -144,8 +150,11 @@ impl Profile {
                 // widths cannot capture the block.
                 let pinned = rng.gen_range(1..8);
                 for (i, lane) in lanes.iter_mut().enumerate().skip(1) {
-                    let magnitude =
-                        if i == pinned { hi - 1 } else { rng.gen_range(lo..hi) };
+                    let magnitude = if i == pinned {
+                        hi - 1
+                    } else {
+                        rng.gen_range(lo..hi)
+                    };
                     let signed = if rng.gen() { magnitude } else { -magnitude };
                     *lane = base.wrapping_add(signed) as u64;
                 }

@@ -17,7 +17,11 @@ use crate::profile::Profile;
 const MB: u64 = 16_384; // blocks per megabyte
 
 fn phased(a: Pattern, b: Pattern, period: u64) -> Pattern {
-    Pattern::Phased { a: Box::new(a), b: Box::new(b), period }
+    Pattern::Phased {
+        a: Box::new(a),
+        b: Box::new(b),
+        period,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -64,7 +68,11 @@ pub fn spec_apps() -> Vec<AppSpec> {
             "zeusmp06",
             8 * MB,
             phased(
-                Pattern::LoopHot { stride: 1, hot_fraction: 0.11, hot_probability: 0.55 },
+                Pattern::LoopHot {
+                    stride: 1,
+                    hot_fraction: 0.11,
+                    hot_probability: 0.55,
+                },
                 Pattern::Loop { stride: 1 },
                 120_000,
             ),
@@ -76,7 +84,11 @@ pub fn spec_apps() -> Vec<AppSpec> {
         app(
             "GemsFDTD06",
             8 * MB,
-            Pattern::LoopHot { stride: 1, hot_fraction: 0.11, hot_probability: 0.55 },
+            Pattern::LoopHot {
+                stride: 1,
+                hot_fraction: 0.11,
+                hot_probability: 0.55,
+            },
             0.65,
             0.50,
             6.0,
@@ -85,7 +97,11 @@ pub fn spec_apps() -> Vec<AppSpec> {
         app(
             "cactuBSSN17",
             8 * MB,
-            Pattern::LoopHot { stride: 1, hot_fraction: 0.11, hot_probability: 0.55 },
+            Pattern::LoopHot {
+                stride: 1,
+                hot_fraction: 0.11,
+                hot_probability: 0.55,
+            },
             0.60,
             0.50,
             7.0,
@@ -94,7 +110,11 @@ pub fn spec_apps() -> Vec<AppSpec> {
         app(
             "leslie3d06",
             8 * MB,
-            Pattern::LoopHot { stride: 1, hot_fraction: 0.11, hot_probability: 0.55 },
+            Pattern::LoopHot {
+                stride: 1,
+                hot_fraction: 0.11,
+                hot_probability: 0.55,
+            },
             0.65,
             0.55,
             6.0,
@@ -103,7 +123,11 @@ pub fn spec_apps() -> Vec<AppSpec> {
         app(
             "wrf06",
             6 * MB,
-            Pattern::LoopHot { stride: 2, hot_fraction: 0.11, hot_probability: 0.55 },
+            Pattern::LoopHot {
+                stride: 2,
+                hot_fraction: 0.11,
+                hot_probability: 0.55,
+            },
             0.60,
             0.50,
             7.0,
@@ -112,7 +136,11 @@ pub fn spec_apps() -> Vec<AppSpec> {
         app(
             "libquantum06",
             6 * MB,
-            Pattern::LoopHot { stride: 1, hot_fraction: 0.14, hot_probability: 0.60 },
+            Pattern::LoopHot {
+                stride: 1,
+                hot_fraction: 0.14,
+                hot_probability: 0.60,
+            },
             0.55,
             0.60,
             5.0,
@@ -122,7 +150,11 @@ pub fn spec_apps() -> Vec<AppSpec> {
             "bwaves17",
             10 * MB,
             phased(
-                Pattern::LoopHot { stride: 1, hot_fraction: 0.09, hot_probability: 0.55 },
+                Pattern::LoopHot {
+                    stride: 1,
+                    hot_fraction: 0.09,
+                    hot_probability: 0.55,
+                },
                 Pattern::Stream { spread: 2 },
                 100_000,
             ),
@@ -135,7 +167,11 @@ pub fn spec_apps() -> Vec<AppSpec> {
             "roms17",
             8 * MB,
             phased(
-                Pattern::LoopHot { stride: 1, hot_fraction: 0.11, hot_probability: 0.55 },
+                Pattern::LoopHot {
+                    stride: 1,
+                    hot_fraction: 0.11,
+                    hot_probability: 0.55,
+                },
                 Pattern::Stream { spread: 3 },
                 80_000,
             ),
@@ -186,7 +222,10 @@ pub fn spec_apps() -> Vec<AppSpec> {
             "mcf17",
             6 * MB,
             phased(
-                Pattern::HotCold { hot_fraction: 0.10, hot_probability: 0.65 },
+                Pattern::HotCold {
+                    hot_fraction: 0.10,
+                    hot_probability: 0.65,
+                },
                 Pattern::Random,
                 90_000,
             ),
@@ -198,7 +237,10 @@ pub fn spec_apps() -> Vec<AppSpec> {
         app(
             "omnetpp06",
             3 * MB,
-            Pattern::HotCold { hot_fraction: 0.12, hot_probability: 0.7 },
+            Pattern::HotCold {
+                hot_fraction: 0.12,
+                hot_probability: 0.7,
+            },
             0.70,
             0.70,
             9.0,
@@ -207,7 +249,10 @@ pub fn spec_apps() -> Vec<AppSpec> {
         app(
             "soplex06",
             3 * MB,
-            Pattern::HotCold { hot_fraction: 0.12, hot_probability: 0.65 },
+            Pattern::HotCold {
+                hot_fraction: 0.12,
+                hot_probability: 0.65,
+            },
             0.45,
             0.55,
             9.0,
@@ -216,7 +261,10 @@ pub fn spec_apps() -> Vec<AppSpec> {
         app(
             "gobmk06",
             2 * MB,
-            Pattern::HotCold { hot_fraction: 0.15, hot_probability: 0.6 },
+            Pattern::HotCold {
+                hot_fraction: 0.15,
+                hot_probability: 0.6,
+            },
             0.55,
             0.60,
             14.0,
@@ -227,7 +275,10 @@ pub fn spec_apps() -> Vec<AppSpec> {
             3 * MB,
             phased(
                 Pattern::Random,
-                Pattern::HotCold { hot_fraction: 0.15, hot_probability: 0.8 },
+                Pattern::HotCold {
+                    hot_fraction: 0.15,
+                    hot_probability: 0.8,
+                },
                 50_000,
             ),
             0.45,
@@ -239,7 +290,10 @@ pub fn spec_apps() -> Vec<AppSpec> {
         app(
             "astar06",
             3 * MB,
-            Pattern::HotCold { hot_fraction: 0.1, hot_probability: 0.7 },
+            Pattern::HotCold {
+                hot_fraction: 0.1,
+                hot_probability: 0.7,
+            },
             0.55,
             0.60,
             11.0,
@@ -248,7 +302,10 @@ pub fn spec_apps() -> Vec<AppSpec> {
         app(
             "hmmer06",
             MB / 2,
-            Pattern::HotCold { hot_fraction: 0.1, hot_probability: 0.85 },
+            Pattern::HotCold {
+                hot_fraction: 0.1,
+                hot_probability: 0.85,
+            },
             0.70,
             0.70,
             12.0,
@@ -258,7 +315,11 @@ pub fn spec_apps() -> Vec<AppSpec> {
             "dealII06",
             6 * MB,
             phased(
-                Pattern::LoopHot { stride: 1, hot_fraction: 0.11, hot_probability: 0.55 },
+                Pattern::LoopHot {
+                    stride: 1,
+                    hot_fraction: 0.11,
+                    hot_probability: 0.55,
+                },
                 Pattern::Random,
                 40_000,
             ),
@@ -327,7 +388,10 @@ mod tests {
         let compressible = (0..1000)
             .filter(|&b| gems.profile.sample_class(b) != SynthClass::Incompressible)
             .count();
-        assert!(compressible == 1000, "GemsFDTD should be fully compressible");
+        assert!(
+            compressible == 1000,
+            "GemsFDTD should be fully compressible"
+        );
 
         let xz = app_by_name("xz17").unwrap();
         let incompressible = (0..1000)
@@ -340,7 +404,11 @@ mod tests {
     fn footprints_exceed_private_caches() {
         // Every app must at least spill out of the 128 KB L2.
         for app in spec_apps() {
-            assert!(app.footprint_blocks * 64 > 128 * 1024, "{} too small", app.name);
+            assert!(
+                app.footprint_blocks * 64 > 128 * 1024,
+                "{} too small",
+                app.name
+            );
         }
     }
 

@@ -12,15 +12,25 @@ fn arb_pattern() -> impl Strategy<Value = Pattern> {
         (1u64..8).prop_map(|spread| Pattern::Stream { spread }),
         Just(Pattern::Random),
         (0.01f64..0.9, 0.1f64..0.95).prop_map(|(hot_fraction, hot_probability)| {
-            Pattern::HotCold { hot_fraction, hot_probability }
+            Pattern::HotCold {
+                hot_fraction,
+                hot_probability,
+            }
         }),
         (1u64..8, 0.01f64..0.5, 0.1f64..0.9).prop_map(|(stride, hot_fraction, hot_probability)| {
-            Pattern::LoopHot { stride, hot_fraction, hot_probability }
+            Pattern::LoopHot {
+                stride,
+                hot_fraction,
+                hot_probability,
+            }
         }),
     ];
     // One level of phasing over the leaves.
-    (leaf.clone(), leaf, 1u64..10_000)
-        .prop_map(|(a, b, period)| Pattern::Phased { a: Box::new(a), b: Box::new(b), period })
+    (leaf.clone(), leaf, 1u64..10_000).prop_map(|(a, b, period)| Pattern::Phased {
+        a: Box::new(a),
+        b: Box::new(b),
+        period,
+    })
 }
 
 proptest! {
@@ -72,7 +82,7 @@ proptest! {
         use hllc_sim::DataModel;
         let mix = &mixes()[mix_idx];
         let mut d = mix.data_model(7);
-        let size = d.compressed_size(block & 0x3_FFFF_FFFF_FF);
+        let size = d.compressed_size(block & 0x03FF_FFFF_FFFF);
         prop_assert!((1..=64).contains(&size));
     }
 

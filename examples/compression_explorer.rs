@@ -23,14 +23,17 @@ fn main() {
         (
             "float-ish data (wide deltas)",
             Block::from_u64_lanes(core::array::from_fn(|i| {
-                0x3FF0_0000_0000_0000u64.wrapping_add(0x000F_3A00_0000_0000u64.wrapping_mul(i as u64))
+                0x3FF0_0000_0000_0000u64
+                    .wrapping_add(0x000F_3A00_0000_0000u64.wrapping_mul(i as u64))
             })),
         ),
         ("random bytes", {
             let mut b = [0u8; 64];
             let mut x = 0x243F_6A88_85A3_08D3u64;
             for v in b.iter_mut() {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 *v = (x >> 40) as u8;
             }
             Block::new(b)
@@ -38,7 +41,10 @@ fn main() {
     ];
 
     let compressor = Compressor::new();
-    println!("{:<30} {:>9} {:>8} {:>9}", "payload", "encoding", "CB size", "ECB size");
+    println!(
+        "{:<30} {:>9} {:>8} {:>9}",
+        "payload", "encoding", "CB size", "ECB size"
+    );
     for (name, block) in &samples {
         let cb = compressor.compress(block);
         println!(
@@ -60,7 +66,10 @@ fn main() {
         "target frame: {} live bytes of 66 (faulty: 2, 9, 33, 40, 65)",
         fault_map.live_bytes()
     );
-    assert!(cb.ecb_size() as usize <= fault_map.live_bytes(), "block must fit");
+    assert!(
+        cb.ecb_size() as usize <= fault_map.live_bytes(),
+        "block must fit"
+    );
 
     // SECDED-protect CE + zero-padded block data (516 bits -> 527), then
     // pack only the stored bits: check bits + CE + compressed payload.

@@ -16,10 +16,17 @@ fn main() {
     println!(
         "workload {} = {}\n",
         mix.name,
-        mix.apps.iter().map(|a| a.name).collect::<Vec<_>>().join(" + ")
+        mix.apps
+            .iter()
+            .map(|a| a.name)
+            .collect::<Vec<_>>()
+            .join(" + ")
     );
 
-    for (name, policy) in [("CP_SD", Policy::cp_sd()), ("CP_SD_Th8", Policy::cp_sd_th(8.0))] {
+    for (name, policy) in [
+        ("CP_SD", Policy::cp_sd()),
+        ("CP_SD_Th8", Policy::cp_sd_th(8.0)),
+    ] {
         let cfg = HybridConfig::from_geometry(system.llc, policy)
             .with_endurance(1e8, 0.2)
             .with_epoch_cycles(100_000)

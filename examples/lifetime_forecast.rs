@@ -6,19 +6,25 @@
 //! cargo run --release --example lifetime_forecast
 //! ```
 
-use hybrid_llc::llc::Policy;
 use hybrid_llc::forecast::{Forecast, ForecastConfig};
+use hybrid_llc::llc::Policy;
 use hybrid_llc::trace::mixes;
 
 fn main() {
     let mix = &mixes()[0];
-    println!("forecasting NVM aging on {} (scaled config, mu = 1e8)...", mix.name);
+    println!(
+        "forecasting NVM aging on {} (scaled config, mu = 1e8)...",
+        mix.name
+    );
     println!("multiply times by 100 for paper-equivalent wall-clock (mu = 1e10).\n");
 
     for policy in [Policy::Bh, Policy::cp_sd()] {
         let series = Forecast::new(ForecastConfig::scaled(policy)).run(mix, 42);
         println!("— policy {} —", series.label);
-        println!("{:>12} {:>10} {:>8} {:>10}", "time [h]", "capacity", "IPC", "hit rate");
+        println!(
+            "{:>12} {:>10} {:>8} {:>10}",
+            "time [h]", "capacity", "IPC", "hit rate"
+        );
         for p in &series.points {
             println!(
                 "{:>12.2} {:>9.1}% {:>8.3} {:>9.1}%",

@@ -33,11 +33,19 @@ fn run(policy_name: &str, policy: Option<Policy>, mix_idx: usize) -> (String, f6
     h.reset_stats();
     drive_cycles(&mut h, &mut streams, 2_400_000.0);
     let s = h.llc().stats();
-    (policy_name.to_string(), h.system_ipc(), s.hit_rate(), s.nvm_bytes_written)
+    (
+        policy_name.to_string(),
+        h.system_ipc(),
+        s.hit_rate(),
+        s.nvm_bytes_written,
+    )
 }
 
 fn main() {
-    let mix_idx: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(0);
+    let mix_idx: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0);
     assert!(mix_idx < 10, "mix index must be 0..9");
     println!("workload: {}\n", mixes()[mix_idx].name);
 

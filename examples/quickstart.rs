@@ -25,7 +25,11 @@ fn main() {
     println!(
         "workload: {} = {}",
         mix.name,
-        mix.apps.iter().map(|a| a.name).collect::<Vec<_>>().join(" + ")
+        mix.apps
+            .iter()
+            .map(|a| a.name)
+            .collect::<Vec<_>>()
+            .join(" + ")
     );
 
     let llc_cfg = HybridConfig::from_geometry(system.llc, Policy::cp_sd())
@@ -44,9 +48,16 @@ fn main() {
     let s = *hierarchy.llc().stats();
     println!("\nafter {accesses} memory references:");
     println!("  system IPC          {:.3}", hierarchy.system_ipc());
-    println!("  LLC requests        {} (hit rate {:.1}%)", s.requests(), 100.0 * s.hit_rate());
+    println!(
+        "  LLC requests        {} (hit rate {:.1}%)",
+        s.requests(),
+        100.0 * s.hit_rate()
+    );
     println!("  hits SRAM / NVM     {} / {}", s.sram_hits, s.nvm_hits);
-    println!("  inserts SRAM / NVM  {} / {}", s.sram_inserts, s.nvm_inserts);
+    println!(
+        "  inserts SRAM / NVM  {} / {}",
+        s.sram_inserts, s.nvm_inserts
+    );
     println!("  SRAM->NVM migrations {}", s.migrations);
     println!("  NVM bytes written   {}", s.nvm_bytes_written);
     if let Some(d) = hierarchy.llc().dueling() {

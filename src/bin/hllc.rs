@@ -5,72 +5,27 @@
 //! hllc mixes                             list the Table V workloads
 //! hllc run      --policy cp_sd --mix 1   one simulation phase, cache stats
 //! hllc forecast --policy bh    --mix 1   age the NVM part to 50% capacity
+//! hllc compare  --mix 1 --jobs 4         all policies side by side, in parallel
+//! hllc sweep    --policies bh,cp_sd --mixes 1,2 --seeds 2 --jobs 4 --json out.json
 //! ```
 
 use std::process::ExitCode;
 
+use hybrid_llc::cli::{parse_args, parse_sweep_args, Args, SweepArgs};
 use hybrid_llc::forecast::{Forecast, ForecastConfig};
-use hybrid_llc::llc::{HybridConfig, HybridLlc, Policy};
+use hybrid_llc::llc::{HybridConfig, HybridLlc};
+use hybrid_llc::runner::{report_json, run_indexed, run_sweep, SweepSpec};
 use hybrid_llc::sim::{EnergyModel, Hierarchy, SystemConfig};
 use hybrid_llc::trace::{drive_cycles, mixes};
 use hybrid_llc::LlcPort;
 
-fn parse_policy(name: &str) -> Option<Policy> {
-    match name.to_ascii_lowercase().as_str() {
-        "bh" => Some(Policy::Bh),
-        "bh_cp" | "bhcp" => Some(Policy::BhCp),
-        "ca" => Some(Policy::Ca { cp_th: 58 }),
-        "ca_rwr" | "carwr" => Some(Policy::CaRwr { cp_th: 58 }),
-        "cp_sd" | "cpsd" => Some(Policy::cp_sd()),
-        "cp_sd_th4" => Some(Policy::cp_sd_th(4.0)),
-        "cp_sd_th8" => Some(Policy::cp_sd_th(8.0)),
-        "lhybrid" => Some(Policy::LHybrid),
-        "tap" => Some(Policy::tap()),
-        _ => None,
-    }
-}
-
-struct Args {
-    policy: Policy,
-    mix: usize,
-    cycles: f64,
-    seed: u64,
-}
-
-fn parse_args(argv: &[String]) -> Result<Args, String> {
-    let mut args = Args { policy: Policy::cp_sd(), mix: 0, cycles: 2.0e6, seed: 42 };
-    let mut it = argv.iter();
-    while let Some(flag) = it.next() {
-        let mut value = || it.next().ok_or_else(|| format!("{flag} needs a value"));
-        match flag.as_str() {
-            "--policy" => {
-                let v = value()?;
-                args.policy =
-                    parse_policy(v).ok_or_else(|| format!("unknown policy '{v}' (try `hllc policies`)"))?;
-            }
-            "--mix" => {
-                let v: usize = value()?.parse().map_err(|_| "--mix expects 1..10".to_string())?;
-                if !(1..=10).contains(&v) {
-                    return Err("--mix expects 1..10".into());
-                }
-                args.mix = v - 1;
-            }
-            "--cycles" => {
-                args.cycles = value()?.parse().map_err(|_| "--cycles expects a number".to_string())?;
-            }
-            "--seed" => {
-                args.seed = value()?.parse().map_err(|_| "--seed expects an integer".to_string())?;
-            }
-            other => return Err(format!("unknown flag '{other}'")),
-        }
-    }
-    Ok(args)
-}
-
 fn cmd_policies() {
     println!("available insertion policies (Table III):");
     for (flag, desc) in [
-        ("bh", "baseline hybrid: global LRU, NVM-unaware, frame-disabling"),
+        (
+            "bh",
+            "baseline hybrid: global LRU, NVM-unaware, frame-disabling",
+        ),
         ("bh_cp", "BH + compression: global Fit-LRU, byte-disabling"),
         ("ca", "naive compression-aware, CP_th = 58"),
         ("ca_rwr", "compression + read/write-reuse aware, CP_th = 58"),
@@ -95,7 +50,12 @@ fn cmd_mixes() {
 fn cmd_run(args: &Args) {
     let system = SystemConfig::scaled_down();
     let mix = &mixes()[args.mix];
-    println!("running {} under {} for {:.1}M cycles...", mix.name, args.policy.name(), args.cycles / 1e6);
+    println!(
+        "running {} under {} for {:.1}M cycles...",
+        mix.name,
+        args.policy.name(),
+        args.cycles / 1e6
+    );
 
     let llc_cfg = HybridConfig::from_geometry(system.llc, args.policy)
         .with_endurance(1e8, 0.2)
@@ -110,9 +70,17 @@ fn cmd_run(args: &Args) {
     let s = *h.llc().stats();
     let energy = EnergyModel::default_16nm().breakdown(&s, args.cycles, system.timing.freq_ghz);
     println!("  system IPC        {:.3}", h.system_ipc());
-    println!("  LLC hit rate      {:.1}% ({} of {} requests)", 100.0 * s.hit_rate(), s.hits, s.requests());
+    println!(
+        "  LLC hit rate      {:.1}% ({} of {} requests)",
+        100.0 * s.hit_rate(),
+        s.hits,
+        s.requests()
+    );
     println!("  hits SRAM/NVM     {} / {}", s.sram_hits, s.nvm_hits);
-    println!("  inserts SRAM/NVM  {} / {} (migrations {})", s.sram_inserts, s.nvm_inserts, s.migrations);
+    println!(
+        "  inserts SRAM/NVM  {} / {} (migrations {})",
+        s.sram_inserts, s.nvm_inserts, s.migrations
+    );
     println!("  NVM bytes written {}", s.nvm_bytes_written);
     println!("  LLC energy        {:.2} mJ", energy.total_mj());
     if let Some(d) = h.llc().dueling() {
@@ -130,7 +98,12 @@ fn cmd_forecast(args: &Args) {
     let series = Forecast::new(ForecastConfig::scaled(args.policy)).run(mix, args.seed);
     println!("{:>10} {:>10} {:>8}", "time [h]", "capacity", "IPC");
     for p in &series.points {
-        println!("{:>10.2} {:>9.1}% {:>8.3}", p.time_seconds / 3600.0, p.capacity * 100.0, p.ipc);
+        println!(
+            "{:>10.2} {:>9.1}% {:>8.3}",
+            p.time_seconds / 3600.0,
+            p.capacity * 100.0,
+            p.ipc
+        );
     }
     match series.lifetime_seconds(0.5) {
         Some(s) => println!("=> 50% capacity after {:.2} scaled hours", s / 3600.0),
@@ -139,11 +112,33 @@ fn cmd_forecast(args: &Args) {
 }
 
 fn cmd_compare(args: &Args) {
+    use hybrid_llc::cli::parse_policy;
     let mix = &mixes()[args.mix];
-    println!("comparing all policies on {} ({:.1}M cycles each)...\n", mix.name, args.cycles / 1e6);
-    println!("{:<12} {:>8} {:>10} {:>14} {:>12}", "policy", "IPC", "LLC hit%", "NVM bytes", "energy [mJ]");
-    for p in ["bh", "bh_cp", "ca", "ca_rwr", "cp_sd", "cp_sd_th8", "lhybrid", "tap"] {
-        let policy = parse_policy(p).unwrap();
+    println!(
+        "comparing all policies on {} ({:.1}M cycles each)...\n",
+        mix.name,
+        args.cycles / 1e6
+    );
+    println!(
+        "{:<12} {:>8} {:>10} {:>14} {:>12}",
+        "policy", "IPC", "LLC hit%", "NVM bytes", "energy [mJ]"
+    );
+    // One job per policy; every job uses the same seed as the serial loop
+    // did, and rows print in job order, so --jobs only changes wall-clock.
+    let policies: Vec<_> = [
+        "bh",
+        "bh_cp",
+        "ca",
+        "ca_rwr",
+        "cp_sd",
+        "cp_sd_th8",
+        "lhybrid",
+        "tap",
+    ]
+    .iter()
+    .map(|p| parse_policy(p).unwrap())
+    .collect();
+    let rows = run_indexed(policies, args.jobs, |_, policy| {
         let system = SystemConfig::scaled_down();
         let llc_cfg = HybridConfig::from_geometry(system.llc, policy)
             .with_endurance(1e8, 0.2)
@@ -156,15 +151,72 @@ fn cmd_compare(args: &Args) {
         drive_cycles(&mut h, &mut streams, 1.2 * args.cycles);
         let s = *h.llc().stats();
         let e = EnergyModel::default_16nm().breakdown(&s, args.cycles, system.timing.freq_ghz);
-        println!(
+        format!(
             "{:<12} {:>8.3} {:>9.1}% {:>14} {:>12.2}",
             policy.name(),
             h.system_ipc(),
             100.0 * s.hit_rate(),
             s.nvm_bytes_written,
             e.total_mj()
-        );
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
+}
+
+fn cmd_sweep(args: &SweepArgs) -> Result<(), String> {
+    let spec = SweepSpec {
+        policies: args.policies.clone(),
+        mixes: args.mixes.clone(),
+        seeds: args.seeds,
+        capacities: args.capacities.clone(),
+        base_seed: args.seed,
+        sets: args.sets,
+        warmup_cycles: 0.2 * args.cycles,
+        measure_cycles: args.cycles,
+        threads: args.jobs,
+    };
+    println!(
+        "sweeping {} policies x {} capacities x {} mixes x {} seeds = {} jobs on {} threads...",
+        spec.policies.len(),
+        spec.capacities.len(),
+        spec.mixes.len(),
+        spec.seeds,
+        spec.job_count(),
+        spec.threads,
+    );
+    let report = run_sweep(&spec);
+
+    println!(
+        "\n{:<12} {:>9} {:>8} {:>10} {:>14}",
+        "policy", "capacity", "IPC", "LLC hit%", "NVM bytes"
+    );
+    for (label, _) in &spec.policies {
+        for &capacity in &spec.capacities {
+            let cell: Vec<_> = report
+                .results
+                .iter()
+                .filter(|r| &r.policy == label && r.capacity == capacity)
+                .collect();
+            let n = cell.len() as f64;
+            let ipc: f64 = cell.iter().map(|r| r.ipc).sum::<f64>() / n;
+            let hit: f64 = cell.iter().map(|r| r.hit_rate).sum::<f64>() / n;
+            let bytes: u64 = cell.iter().map(|r| r.nvm_bytes_written).sum();
+            println!(
+                "{label:<12} {capacity:>9.2} {ipc:>8.3} {:>9.1}% {bytes:>14}",
+                100.0 * hit
+            );
+        }
+    }
+
+    if let Some(path) = &args.json {
+        let text = serde_json::to_string_pretty(&report_json(&report))
+            .map_err(|e| format!("serializing report: {e}"))?;
+        std::fs::write(path, text + "\n").map_err(|e| format!("writing {path}: {e}"))?;
+        println!("\nreport written to {path}");
+    }
+    Ok(())
 }
 
 fn cmd_figures() {
@@ -200,8 +252,10 @@ fn cmd_figures() {
 
 fn usage() {
     println!(
-        "usage: hllc <policies|mixes|figures|run|forecast|compare> \
-        [--policy P] [--mix 1..10] [--cycles N] [--seed S]"
+        "usage: hllc <policies|mixes|figures|run|forecast|compare|sweep> \
+        [--policy P] [--mix 1..10] [--cycles N] [--seed S] [--jobs N]\n\
+        \x20      hllc sweep [--policies a,b] [--mixes 1,2] [--seeds K] [--capacities 1.0,0.7] \
+        [--sets N] [--json out.json]"
     );
 }
 
@@ -219,6 +273,14 @@ fn main() -> ExitCode {
             Ok(args) if cmd == "run" => cmd_run(&args),
             Ok(args) if cmd == "compare" => cmd_compare(&args),
             Ok(args) => cmd_forecast(&args),
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        },
+        "sweep" => match parse_sweep_args(&argv[1..]).and_then(|args| cmd_sweep(&args)) {
+            Ok(()) => {}
             Err(e) => {
                 eprintln!("error: {e}");
                 usage();

@@ -1,0 +1,324 @@
+//! Command-line parsing for the `hllc` binary, split out of the binary so
+//! the flag grammar is unit-testable.
+
+use hllc_core::Policy;
+
+/// Parses a policy flag value into a [`Policy`] (Table III aliases).
+pub fn parse_policy(name: &str) -> Option<Policy> {
+    match name.to_ascii_lowercase().as_str() {
+        "bh" => Some(Policy::Bh),
+        "bh_cp" | "bhcp" => Some(Policy::BhCp),
+        "ca" => Some(Policy::Ca { cp_th: 58 }),
+        "ca_rwr" | "carwr" => Some(Policy::CaRwr { cp_th: 58 }),
+        "cp_sd" | "cpsd" => Some(Policy::cp_sd()),
+        "cp_sd_th4" => Some(Policy::cp_sd_th(4.0)),
+        "cp_sd_th8" => Some(Policy::cp_sd_th(8.0)),
+        "lhybrid" => Some(Policy::LHybrid),
+        "tap" => Some(Policy::tap()),
+        _ => None,
+    }
+}
+
+/// Arguments of `hllc run|forecast|compare`.
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// Insertion policy (`run`/`forecast` only; `compare` runs them all).
+    pub policy: Policy,
+    /// Table V mix, stored 0-based.
+    pub mix: usize,
+    /// Simulated cycles.
+    pub cycles: f64,
+    /// Base seed.
+    pub seed: u64,
+    /// Worker threads (`compare` only; results are independent of it).
+    pub jobs: usize,
+}
+
+/// Parses the flags of `hllc run|forecast|compare`.
+pub fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        policy: Policy::cp_sd(),
+        mix: 0,
+        cycles: 2.0e6,
+        seed: 42,
+        jobs: hllc_runner::default_threads(),
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--policy" => {
+                let v = value()?;
+                args.policy = parse_policy(v)
+                    .ok_or_else(|| format!("unknown policy '{v}' (try `hllc policies`)"))?;
+            }
+            "--mix" => {
+                let v: usize = value()?
+                    .parse()
+                    .map_err(|_| "--mix expects 1..10".to_string())?;
+                if !(1..=10).contains(&v) {
+                    return Err("--mix expects 1..10".into());
+                }
+                args.mix = v - 1;
+            }
+            "--cycles" => {
+                args.cycles = value()?
+                    .parse()
+                    .map_err(|_| "--cycles expects a number".to_string())?;
+            }
+            "--seed" => {
+                args.seed = value()?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?;
+            }
+            "--jobs" => {
+                args.jobs = parse_jobs(value()?)?;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+/// Arguments of `hllc sweep`.
+#[derive(Clone, Debug)]
+pub struct SweepArgs {
+    /// Policies to sweep, as `(label, policy)` pairs in flag order.
+    pub policies: Vec<(String, Policy)>,
+    /// Table V mixes, stored 0-based.
+    pub mixes: Vec<usize>,
+    /// Seed replicates per grid cell.
+    pub seeds: usize,
+    /// NVM capacity fractions (1.0 = pristine).
+    pub capacities: Vec<f64>,
+    /// Worker threads; any value yields byte-identical reports.
+    pub jobs: usize,
+    /// Measured cycles per job (warm-up is 20% on top).
+    pub cycles: f64,
+    /// Base seed of the per-job SplitMix64 streams.
+    pub seed: u64,
+    /// LLC sets.
+    pub sets: usize,
+    /// Where to write the JSON report, if anywhere.
+    pub json: Option<String>,
+}
+
+/// Parses the flags of `hllc sweep`.
+pub fn parse_sweep_args(argv: &[String]) -> Result<SweepArgs, String> {
+    let mut args = SweepArgs {
+        policies: parse_policy_list("bh,cp_sd").unwrap(),
+        mixes: vec![0, 1, 2, 3],
+        seeds: 1,
+        capacities: vec![1.0],
+        jobs: hllc_runner::default_threads(),
+        cycles: 2.0e5,
+        seed: 42,
+        sets: 512,
+        json: None,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--policies" => args.policies = parse_policy_list(value()?)?,
+            "--mixes" => args.mixes = parse_mix_list(value()?)?,
+            "--seeds" => {
+                args.seeds = value()?
+                    .parse()
+                    .ok()
+                    .filter(|&k: &usize| k >= 1)
+                    .ok_or_else(|| "--seeds expects an integer >= 1".to_string())?;
+            }
+            "--capacities" => {
+                let v = value()?;
+                args.capacities = v
+                    .split(',')
+                    .map(|c| {
+                        c.trim()
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|&f| f > 0.0 && f <= 1.0)
+                            .ok_or_else(|| format!("bad capacity '{c}' (expects 0..=1)"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--jobs" => args.jobs = parse_jobs(value()?)?,
+            "--cycles" => {
+                args.cycles = value()?
+                    .parse()
+                    .map_err(|_| "--cycles expects a number".to_string())?;
+            }
+            "--seed" => {
+                args.seed = value()?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?;
+            }
+            "--sets" => {
+                args.sets = value()?
+                    .parse()
+                    .ok()
+                    .filter(|&s: &usize| s >= 1)
+                    .ok_or_else(|| "--sets expects an integer >= 1".to_string())?;
+            }
+            "--json" => args.json = Some(value()?.clone()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_jobs(v: &str) -> Result<usize, String> {
+    v.parse()
+        .ok()
+        .filter(|&n: &usize| n >= 1)
+        .ok_or_else(|| "--jobs expects an integer >= 1".to_string())
+}
+
+/// Parses a comma-separated policy list, keeping the flag spelling as label.
+fn parse_policy_list(v: &str) -> Result<Vec<(String, Policy)>, String> {
+    let list: Vec<(String, Policy)> = v
+        .split(',')
+        .map(|name| {
+            let name = name.trim();
+            parse_policy(name)
+                .map(|p| (name.to_string(), p))
+                .ok_or_else(|| format!("unknown policy '{name}' (try `hllc policies`)"))
+        })
+        .collect::<Result<_, _>>()?;
+    if list.is_empty() {
+        return Err("--policies expects at least one policy".into());
+    }
+    Ok(list)
+}
+
+/// Parses a comma-separated 1-based mix list into 0-based indices.
+fn parse_mix_list(v: &str) -> Result<Vec<usize>, String> {
+    let list: Vec<usize> = v
+        .split(',')
+        .map(|m| {
+            m.trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|n| (1..=10).contains(n))
+                .map(|n| n - 1)
+                .ok_or_else(|| format!("bad mix '{m}' (expects 1..10)"))
+        })
+        .collect::<Result<_, _>>()?;
+    if list.is_empty() {
+        return Err("--mixes expects at least one mix".into());
+    }
+    Ok(list)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn every_documented_alias_parses() {
+        for alias in [
+            "bh",
+            "bh_cp",
+            "bhcp",
+            "ca",
+            "ca_rwr",
+            "carwr",
+            "cp_sd",
+            "cpsd",
+            "cp_sd_th4",
+            "cp_sd_th8",
+            "lhybrid",
+            "tap",
+        ] {
+            assert!(parse_policy(alias).is_some(), "alias '{alias}' rejected");
+            assert!(
+                parse_policy(&alias.to_uppercase()).is_some(),
+                "'{alias}' not case-folded"
+            );
+        }
+        assert!(parse_policy("nonsense").is_none());
+    }
+
+    #[test]
+    fn alias_pairs_agree() {
+        assert_eq!(parse_policy("bh_cp"), parse_policy("bhcp"));
+        assert_eq!(parse_policy("ca_rwr"), parse_policy("carwr"));
+        assert_eq!(parse_policy("cp_sd"), parse_policy("cpsd"));
+    }
+
+    #[test]
+    fn parse_args_reads_every_flag() {
+        let a = parse_args(&argv("--policy bh --mix 3 --cycles 5e5 --seed 7 --jobs 2")).unwrap();
+        assert_eq!(a.policy, Policy::Bh);
+        assert_eq!(a.mix, 2, "mixes are stored 0-based");
+        assert_eq!(a.cycles, 5.0e5);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.jobs, 2);
+    }
+
+    #[test]
+    fn parse_args_rejects_out_of_range_mixes() {
+        assert!(parse_args(&argv("--mix 0")).is_err());
+        assert!(parse_args(&argv("--mix 11")).is_err());
+        assert!(parse_args(&argv("--mix 1")).is_ok());
+        assert!(parse_args(&argv("--mix 10")).is_ok());
+    }
+
+    #[test]
+    fn parse_args_rejects_missing_values() {
+        for flags in ["--policy", "--mix", "--cycles", "--seed", "--jobs"] {
+            let e = parse_args(&argv(flags)).unwrap_err();
+            assert!(e.contains("needs a value"), "'{flags}': {e}");
+        }
+    }
+
+    #[test]
+    fn parse_args_rejects_unknown_flags_and_bad_values() {
+        assert!(parse_args(&argv("--frobnicate 3")).is_err());
+        assert!(parse_args(&argv("--policy nonsense")).is_err());
+        assert!(parse_args(&argv("--jobs 0")).is_err());
+    }
+
+    #[test]
+    fn parse_sweep_args_reads_the_grid() {
+        let a = parse_sweep_args(&argv(
+            "--policies bh,cp_sd,tap --mixes 1,5,10 --seeds 3 --capacities 1.0,0.7 \
+             --jobs 4 --cycles 1e5 --seed 9 --sets 256 --json out.json",
+        ))
+        .unwrap();
+        assert_eq!(a.policies.len(), 3);
+        assert_eq!(a.policies[2].0, "tap");
+        assert_eq!(a.mixes, vec![0, 4, 9]);
+        assert_eq!(a.seeds, 3);
+        assert_eq!(a.capacities, vec![1.0, 0.7]);
+        assert_eq!(a.jobs, 4);
+        assert_eq!(a.cycles, 1.0e5);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.sets, 256);
+        assert_eq!(a.json.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn parse_sweep_args_rejects_bad_grids() {
+        assert!(parse_sweep_args(&argv("--mixes 0")).is_err());
+        assert!(parse_sweep_args(&argv("--mixes 11")).is_err());
+        assert!(parse_sweep_args(&argv("--policies nope")).is_err());
+        assert!(parse_sweep_args(&argv("--seeds 0")).is_err());
+        assert!(parse_sweep_args(&argv("--capacities 1.5")).is_err());
+        assert!(parse_sweep_args(&argv("--capacities 0")).is_err());
+        assert!(parse_sweep_args(&argv("--json")).is_err());
+    }
+
+    #[test]
+    fn parse_sweep_args_defaults_are_sane() {
+        let a = parse_sweep_args(&[]).unwrap();
+        assert!(!a.policies.is_empty());
+        assert!(!a.mixes.is_empty());
+        assert!(a.seeds >= 1 && a.jobs >= 1 && a.sets >= 1);
+        assert!(a.json.is_none());
+    }
+}

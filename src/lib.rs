@@ -21,6 +21,7 @@
 //! | [`llc`] | `hllc-core` | the hybrid LLC and every insertion policy |
 //! | [`trace`] | `hllc-trace` | synthetic SPEC-like workloads and mixes |
 //! | [`forecast`] | `hllc-forecast` | the aging forecast procedure |
+//! | [`runner`] | `hllc-runner` | deterministic parallel experiment runner |
 //!
 //! # Quickstart
 //!
@@ -55,8 +56,11 @@ pub use hllc_core as llc;
 pub use hllc_ecc as ecc;
 pub use hllc_forecast as forecast;
 pub use hllc_nvm as nvm;
+pub use hllc_runner as runner;
 pub use hllc_sim as sim;
 pub use hllc_trace as trace;
+
+pub mod cli;
 
 // The types nearly every user touches, re-exported at the crate root.
 pub use hllc_core::{HybridConfig, HybridLlc, Policy};

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coherence_sharing-1e6c83bdcb517cac.d: crates/sim/tests/coherence_sharing.rs
+
+/root/repo/target/debug/deps/coherence_sharing-1e6c83bdcb517cac: crates/sim/tests/coherence_sharing.rs
+
+crates/sim/tests/coherence_sharing.rs:

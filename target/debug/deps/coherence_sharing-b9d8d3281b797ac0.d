@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coherence_sharing-b9d8d3281b797ac0.d: crates/sim/tests/coherence_sharing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoherence_sharing-b9d8d3281b797ac0.rmeta: crates/sim/tests/coherence_sharing.rs Cargo.toml
+
+crates/sim/tests/coherence_sharing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datapath-8f3c0b5f2f71acd5.d: tests/datapath.rs
+
+/root/repo/target/debug/deps/datapath-8f3c0b5f2f71acd5: tests/datapath.rs
+
+tests/datapath.rs:

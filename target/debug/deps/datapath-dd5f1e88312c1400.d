@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datapath-dd5f1e88312c1400.d: tests/datapath.rs
+
+/root/repo/target/debug/deps/datapath-dd5f1e88312c1400: tests/datapath.rs
+
+tests/datapath.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dram_hierarchy-0d0a39011fbb25c6.d: tests/dram_hierarchy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdram_hierarchy-0d0a39011fbb25c6.rmeta: tests/dram_hierarchy.rs Cargo.toml
+
+tests/dram_hierarchy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dram_hierarchy-3342822fc9e23e6d.d: tests/dram_hierarchy.rs
+
+/root/repo/target/debug/deps/dram_hierarchy-3342822fc9e23e6d: tests/dram_hierarchy.rs
+
+tests/dram_hierarchy.rs:

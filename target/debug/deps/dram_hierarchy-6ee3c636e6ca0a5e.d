@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dram_hierarchy-6ee3c636e6ca0a5e.d: tests/dram_hierarchy.rs
+
+/root/repo/target/debug/deps/dram_hierarchy-6ee3c636e6ca0a5e: tests/dram_hierarchy.rs
+
+tests/dram_hierarchy.rs:

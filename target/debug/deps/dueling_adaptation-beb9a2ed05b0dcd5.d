@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dueling_adaptation-beb9a2ed05b0dcd5.d: crates/core/tests/dueling_adaptation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdueling_adaptation-beb9a2ed05b0dcd5.rmeta: crates/core/tests/dueling_adaptation.rs Cargo.toml
+
+crates/core/tests/dueling_adaptation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

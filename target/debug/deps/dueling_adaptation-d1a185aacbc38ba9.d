@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dueling_adaptation-d1a185aacbc38ba9.d: crates/core/tests/dueling_adaptation.rs
+
+/root/repo/target/debug/deps/dueling_adaptation-d1a185aacbc38ba9: crates/core/tests/dueling_adaptation.rs
+
+crates/core/tests/dueling_adaptation.rs:

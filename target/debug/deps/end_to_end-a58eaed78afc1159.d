@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a58eaed78afc1159.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-a58eaed78afc1159: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10a-1d9b743112eaf3f3.d: crates/bench/benches/fig10a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10a-1d9b743112eaf3f3.rmeta: crates/bench/benches/fig10a.rs Cargo.toml
+
+crates/bench/benches/fig10a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11a-993a28a1a8789742.d: crates/bench/benches/fig11a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11a-993a28a1a8789742.rmeta: crates/bench/benches/fig11a.rs Cargo.toml
+
+crates/bench/benches/fig11a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/forecast_pipeline-9e96b8dfeef0cd12.d: tests/forecast_pipeline.rs
+
+/root/repo/target/debug/deps/forecast_pipeline-9e96b8dfeef0cd12: tests/forecast_pipeline.rs
+
+tests/forecast_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/forecast_pipeline-fcde31cc22099d9f.d: tests/forecast_pipeline.rs
+
+/root/repo/target/debug/deps/forecast_pipeline-fcde31cc22099d9f: tests/forecast_pipeline.rs
+
+tests/forecast_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hllc-2e99733a2e52603e.d: src/bin/hllc.rs
+
+/root/repo/target/debug/deps/hllc-2e99733a2e52603e: src/bin/hllc.rs
+
+src/bin/hllc.rs:

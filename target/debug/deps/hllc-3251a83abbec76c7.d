@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hllc-3251a83abbec76c7.d: src/bin/hllc.rs
+
+/root/repo/target/debug/deps/hllc-3251a83abbec76c7: src/bin/hllc.rs
+
+src/bin/hllc.rs:

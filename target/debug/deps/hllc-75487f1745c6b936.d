@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hllc-75487f1745c6b936.d: src/bin/hllc.rs
+
+/root/repo/target/debug/deps/hllc-75487f1745c6b936: src/bin/hllc.rs
+
+src/bin/hllc.rs:

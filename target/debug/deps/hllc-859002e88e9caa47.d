@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hllc-859002e88e9caa47.d: src/bin/hllc.rs
+
+/root/repo/target/debug/deps/hllc-859002e88e9caa47: src/bin/hllc.rs
+
+src/bin/hllc.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hllc_bench-476c0070ee8dacf7.d: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/report.rs crates/bench/src/stats.rs
+
+/root/repo/target/debug/deps/libhllc_bench-476c0070ee8dacf7.rlib: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/report.rs crates/bench/src/stats.rs
+
+/root/repo/target/debug/deps/libhllc_bench-476c0070ee8dacf7.rmeta: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/report.rs crates/bench/src/stats.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp.rs:
+crates/bench/src/report.rs:
+crates/bench/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hllc_bench-65bfbeaad63adcd9.d: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/report.rs crates/bench/src/stats.rs
+
+/root/repo/target/debug/deps/libhllc_bench-65bfbeaad63adcd9.rlib: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/report.rs crates/bench/src/stats.rs
+
+/root/repo/target/debug/deps/libhllc_bench-65bfbeaad63adcd9.rmeta: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/report.rs crates/bench/src/stats.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp.rs:
+crates/bench/src/report.rs:
+crates/bench/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hllc_compress-de12bcb55956beca.d: crates/compress/src/lib.rs crates/compress/src/analysis.rs crates/compress/src/bdi.rs crates/compress/src/block.rs crates/compress/src/encoding.rs crates/compress/src/fpc.rs
+
+/root/repo/target/debug/deps/hllc_compress-de12bcb55956beca: crates/compress/src/lib.rs crates/compress/src/analysis.rs crates/compress/src/bdi.rs crates/compress/src/block.rs crates/compress/src/encoding.rs crates/compress/src/fpc.rs
+
+crates/compress/src/lib.rs:
+crates/compress/src/analysis.rs:
+crates/compress/src/bdi.rs:
+crates/compress/src/block.rs:
+crates/compress/src/encoding.rs:
+crates/compress/src/fpc.rs:

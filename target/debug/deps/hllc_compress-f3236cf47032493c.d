@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hllc_compress-f3236cf47032493c.d: crates/compress/src/lib.rs crates/compress/src/analysis.rs crates/compress/src/bdi.rs crates/compress/src/block.rs crates/compress/src/encoding.rs crates/compress/src/fpc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhllc_compress-f3236cf47032493c.rmeta: crates/compress/src/lib.rs crates/compress/src/analysis.rs crates/compress/src/bdi.rs crates/compress/src/block.rs crates/compress/src/encoding.rs crates/compress/src/fpc.rs Cargo.toml
+
+crates/compress/src/lib.rs:
+crates/compress/src/analysis.rs:
+crates/compress/src/bdi.rs:
+crates/compress/src/block.rs:
+crates/compress/src/encoding.rs:
+crates/compress/src/fpc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

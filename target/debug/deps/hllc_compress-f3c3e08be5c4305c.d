@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hllc_compress-f3c3e08be5c4305c.d: crates/compress/src/lib.rs crates/compress/src/analysis.rs crates/compress/src/bdi.rs crates/compress/src/block.rs crates/compress/src/encoding.rs crates/compress/src/fpc.rs
+
+/root/repo/target/debug/deps/libhllc_compress-f3c3e08be5c4305c.rlib: crates/compress/src/lib.rs crates/compress/src/analysis.rs crates/compress/src/bdi.rs crates/compress/src/block.rs crates/compress/src/encoding.rs crates/compress/src/fpc.rs
+
+/root/repo/target/debug/deps/libhllc_compress-f3c3e08be5c4305c.rmeta: crates/compress/src/lib.rs crates/compress/src/analysis.rs crates/compress/src/bdi.rs crates/compress/src/block.rs crates/compress/src/encoding.rs crates/compress/src/fpc.rs
+
+crates/compress/src/lib.rs:
+crates/compress/src/analysis.rs:
+crates/compress/src/bdi.rs:
+crates/compress/src/block.rs:
+crates/compress/src/encoding.rs:
+crates/compress/src/fpc.rs:

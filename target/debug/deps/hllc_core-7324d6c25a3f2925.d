@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hllc_core-7324d6c25a3f2925.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/dueling.rs crates/core/src/hybrid.rs crates/core/src/line.rs crates/core/src/policy.rs
+
+/root/repo/target/debug/deps/libhllc_core-7324d6c25a3f2925.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/dueling.rs crates/core/src/hybrid.rs crates/core/src/line.rs crates/core/src/policy.rs
+
+/root/repo/target/debug/deps/libhllc_core-7324d6c25a3f2925.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/dueling.rs crates/core/src/hybrid.rs crates/core/src/line.rs crates/core/src/policy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/dueling.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/line.rs:
+crates/core/src/policy.rs:

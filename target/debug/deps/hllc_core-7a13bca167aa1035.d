@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hllc_core-7a13bca167aa1035.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/dueling.rs crates/core/src/hybrid.rs crates/core/src/line.rs crates/core/src/policy.rs
+
+/root/repo/target/debug/deps/hllc_core-7a13bca167aa1035: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/dueling.rs crates/core/src/hybrid.rs crates/core/src/line.rs crates/core/src/policy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/dueling.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/line.rs:
+crates/core/src/policy.rs:

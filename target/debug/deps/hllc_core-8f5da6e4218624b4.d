@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hllc_core-8f5da6e4218624b4.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/dueling.rs crates/core/src/hybrid.rs crates/core/src/line.rs crates/core/src/policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhllc_core-8f5da6e4218624b4.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/dueling.rs crates/core/src/hybrid.rs crates/core/src/line.rs crates/core/src/policy.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/dueling.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/line.rs:
+crates/core/src/policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

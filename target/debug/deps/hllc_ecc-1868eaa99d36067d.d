@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hllc_ecc-1868eaa99d36067d.d: crates/ecc/src/lib.rs crates/ecc/src/bitvec.rs crates/ecc/src/hamming.rs crates/ecc/src/secded.rs
+
+/root/repo/target/debug/deps/hllc_ecc-1868eaa99d36067d: crates/ecc/src/lib.rs crates/ecc/src/bitvec.rs crates/ecc/src/hamming.rs crates/ecc/src/secded.rs
+
+crates/ecc/src/lib.rs:
+crates/ecc/src/bitvec.rs:
+crates/ecc/src/hamming.rs:
+crates/ecc/src/secded.rs:

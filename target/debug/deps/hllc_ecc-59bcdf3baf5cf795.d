@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hllc_ecc-59bcdf3baf5cf795.d: crates/ecc/src/lib.rs crates/ecc/src/bitvec.rs crates/ecc/src/hamming.rs crates/ecc/src/secded.rs
+
+/root/repo/target/debug/deps/libhllc_ecc-59bcdf3baf5cf795.rlib: crates/ecc/src/lib.rs crates/ecc/src/bitvec.rs crates/ecc/src/hamming.rs crates/ecc/src/secded.rs
+
+/root/repo/target/debug/deps/libhllc_ecc-59bcdf3baf5cf795.rmeta: crates/ecc/src/lib.rs crates/ecc/src/bitvec.rs crates/ecc/src/hamming.rs crates/ecc/src/secded.rs
+
+crates/ecc/src/lib.rs:
+crates/ecc/src/bitvec.rs:
+crates/ecc/src/hamming.rs:
+crates/ecc/src/secded.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hllc_ecc-5cf220b7d843a35e.d: crates/ecc/src/lib.rs crates/ecc/src/bitvec.rs crates/ecc/src/hamming.rs crates/ecc/src/secded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhllc_ecc-5cf220b7d843a35e.rmeta: crates/ecc/src/lib.rs crates/ecc/src/bitvec.rs crates/ecc/src/hamming.rs crates/ecc/src/secded.rs Cargo.toml
+
+crates/ecc/src/lib.rs:
+crates/ecc/src/bitvec.rs:
+crates/ecc/src/hamming.rs:
+crates/ecc/src/secded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hllc_forecast-0cd2ae526142fedd.d: crates/forecast/src/lib.rs crates/forecast/src/phase.rs crates/forecast/src/predict.rs crates/forecast/src/procedure.rs crates/forecast/src/series.rs
+
+/root/repo/target/debug/deps/libhllc_forecast-0cd2ae526142fedd.rlib: crates/forecast/src/lib.rs crates/forecast/src/phase.rs crates/forecast/src/predict.rs crates/forecast/src/procedure.rs crates/forecast/src/series.rs
+
+/root/repo/target/debug/deps/libhllc_forecast-0cd2ae526142fedd.rmeta: crates/forecast/src/lib.rs crates/forecast/src/phase.rs crates/forecast/src/predict.rs crates/forecast/src/procedure.rs crates/forecast/src/series.rs
+
+crates/forecast/src/lib.rs:
+crates/forecast/src/phase.rs:
+crates/forecast/src/predict.rs:
+crates/forecast/src/procedure.rs:
+crates/forecast/src/series.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hllc_forecast-0dc18dc7d38546c6.d: crates/forecast/src/lib.rs crates/forecast/src/phase.rs crates/forecast/src/predict.rs crates/forecast/src/procedure.rs crates/forecast/src/series.rs
+
+/root/repo/target/debug/deps/hllc_forecast-0dc18dc7d38546c6: crates/forecast/src/lib.rs crates/forecast/src/phase.rs crates/forecast/src/predict.rs crates/forecast/src/procedure.rs crates/forecast/src/series.rs
+
+crates/forecast/src/lib.rs:
+crates/forecast/src/phase.rs:
+crates/forecast/src/predict.rs:
+crates/forecast/src/procedure.rs:
+crates/forecast/src/series.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hllc_forecast-43da56e4d76eadec.d: crates/forecast/src/lib.rs crates/forecast/src/phase.rs crates/forecast/src/predict.rs crates/forecast/src/procedure.rs crates/forecast/src/series.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhllc_forecast-43da56e4d76eadec.rmeta: crates/forecast/src/lib.rs crates/forecast/src/phase.rs crates/forecast/src/predict.rs crates/forecast/src/procedure.rs crates/forecast/src/series.rs Cargo.toml
+
+crates/forecast/src/lib.rs:
+crates/forecast/src/phase.rs:
+crates/forecast/src/predict.rs:
+crates/forecast/src/procedure.rs:
+crates/forecast/src/series.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

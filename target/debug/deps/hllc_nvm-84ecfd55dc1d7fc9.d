@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hllc_nvm-84ecfd55dc1d7fc9.d: crates/nvm/src/lib.rs crates/nvm/src/array.rs crates/nvm/src/endurance.rs crates/nvm/src/fault_map.rs crates/nvm/src/frame.rs crates/nvm/src/rearrange.rs crates/nvm/src/setlevel.rs crates/nvm/src/wear.rs
+
+/root/repo/target/debug/deps/libhllc_nvm-84ecfd55dc1d7fc9.rlib: crates/nvm/src/lib.rs crates/nvm/src/array.rs crates/nvm/src/endurance.rs crates/nvm/src/fault_map.rs crates/nvm/src/frame.rs crates/nvm/src/rearrange.rs crates/nvm/src/setlevel.rs crates/nvm/src/wear.rs
+
+/root/repo/target/debug/deps/libhllc_nvm-84ecfd55dc1d7fc9.rmeta: crates/nvm/src/lib.rs crates/nvm/src/array.rs crates/nvm/src/endurance.rs crates/nvm/src/fault_map.rs crates/nvm/src/frame.rs crates/nvm/src/rearrange.rs crates/nvm/src/setlevel.rs crates/nvm/src/wear.rs
+
+crates/nvm/src/lib.rs:
+crates/nvm/src/array.rs:
+crates/nvm/src/endurance.rs:
+crates/nvm/src/fault_map.rs:
+crates/nvm/src/frame.rs:
+crates/nvm/src/rearrange.rs:
+crates/nvm/src/setlevel.rs:
+crates/nvm/src/wear.rs:

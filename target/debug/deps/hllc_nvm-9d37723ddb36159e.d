@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hllc_nvm-9d37723ddb36159e.d: crates/nvm/src/lib.rs crates/nvm/src/array.rs crates/nvm/src/endurance.rs crates/nvm/src/fault_map.rs crates/nvm/src/frame.rs crates/nvm/src/rearrange.rs crates/nvm/src/setlevel.rs crates/nvm/src/wear.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhllc_nvm-9d37723ddb36159e.rmeta: crates/nvm/src/lib.rs crates/nvm/src/array.rs crates/nvm/src/endurance.rs crates/nvm/src/fault_map.rs crates/nvm/src/frame.rs crates/nvm/src/rearrange.rs crates/nvm/src/setlevel.rs crates/nvm/src/wear.rs Cargo.toml
+
+crates/nvm/src/lib.rs:
+crates/nvm/src/array.rs:
+crates/nvm/src/endurance.rs:
+crates/nvm/src/fault_map.rs:
+crates/nvm/src/frame.rs:
+crates/nvm/src/rearrange.rs:
+crates/nvm/src/setlevel.rs:
+crates/nvm/src/wear.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

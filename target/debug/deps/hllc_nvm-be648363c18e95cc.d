@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hllc_nvm-be648363c18e95cc.d: crates/nvm/src/lib.rs crates/nvm/src/array.rs crates/nvm/src/endurance.rs crates/nvm/src/fault_map.rs crates/nvm/src/frame.rs crates/nvm/src/rearrange.rs crates/nvm/src/setlevel.rs crates/nvm/src/wear.rs
+
+/root/repo/target/debug/deps/hllc_nvm-be648363c18e95cc: crates/nvm/src/lib.rs crates/nvm/src/array.rs crates/nvm/src/endurance.rs crates/nvm/src/fault_map.rs crates/nvm/src/frame.rs crates/nvm/src/rearrange.rs crates/nvm/src/setlevel.rs crates/nvm/src/wear.rs
+
+crates/nvm/src/lib.rs:
+crates/nvm/src/array.rs:
+crates/nvm/src/endurance.rs:
+crates/nvm/src/fault_map.rs:
+crates/nvm/src/frame.rs:
+crates/nvm/src/rearrange.rs:
+crates/nvm/src/setlevel.rs:
+crates/nvm/src/wear.rs:

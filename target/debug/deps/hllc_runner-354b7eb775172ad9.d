@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hllc_runner-354b7eb775172ad9.d: crates/runner/src/lib.rs crates/runner/src/pool.rs crates/runner/src/seed.rs crates/runner/src/sweep.rs
+
+/root/repo/target/debug/deps/hllc_runner-354b7eb775172ad9: crates/runner/src/lib.rs crates/runner/src/pool.rs crates/runner/src/seed.rs crates/runner/src/sweep.rs
+
+crates/runner/src/lib.rs:
+crates/runner/src/pool.rs:
+crates/runner/src/seed.rs:
+crates/runner/src/sweep.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hllc_runner-4a45477fb88aeb4d.d: crates/runner/src/lib.rs crates/runner/src/pool.rs crates/runner/src/seed.rs crates/runner/src/sweep.rs
+
+/root/repo/target/debug/deps/libhllc_runner-4a45477fb88aeb4d.rlib: crates/runner/src/lib.rs crates/runner/src/pool.rs crates/runner/src/seed.rs crates/runner/src/sweep.rs
+
+/root/repo/target/debug/deps/libhllc_runner-4a45477fb88aeb4d.rmeta: crates/runner/src/lib.rs crates/runner/src/pool.rs crates/runner/src/seed.rs crates/runner/src/sweep.rs
+
+crates/runner/src/lib.rs:
+crates/runner/src/pool.rs:
+crates/runner/src/seed.rs:
+crates/runner/src/sweep.rs:

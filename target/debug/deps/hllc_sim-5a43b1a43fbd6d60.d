@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hllc_sim-5a43b1a43fbd6d60.d: crates/sim/src/lib.rs crates/sim/src/access.rs crates/sim/src/address.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/data.rs crates/sim/src/dram.rs crates/sim/src/energy.rs crates/sim/src/hierarchy.rs crates/sim/src/llc.rs crates/sim/src/stats.rs crates/sim/src/timing.rs
+
+/root/repo/target/debug/deps/hllc_sim-5a43b1a43fbd6d60: crates/sim/src/lib.rs crates/sim/src/access.rs crates/sim/src/address.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/data.rs crates/sim/src/dram.rs crates/sim/src/energy.rs crates/sim/src/hierarchy.rs crates/sim/src/llc.rs crates/sim/src/stats.rs crates/sim/src/timing.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/access.rs:
+crates/sim/src/address.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/config.rs:
+crates/sim/src/data.rs:
+crates/sim/src/dram.rs:
+crates/sim/src/energy.rs:
+crates/sim/src/hierarchy.rs:
+crates/sim/src/llc.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/timing.rs:

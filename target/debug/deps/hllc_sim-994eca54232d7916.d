@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/hllc_sim-994eca54232d7916.d: crates/sim/src/lib.rs crates/sim/src/access.rs crates/sim/src/address.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/data.rs crates/sim/src/dram.rs crates/sim/src/energy.rs crates/sim/src/hierarchy.rs crates/sim/src/llc.rs crates/sim/src/stats.rs crates/sim/src/timing.rs
+
+/root/repo/target/debug/deps/libhllc_sim-994eca54232d7916.rlib: crates/sim/src/lib.rs crates/sim/src/access.rs crates/sim/src/address.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/data.rs crates/sim/src/dram.rs crates/sim/src/energy.rs crates/sim/src/hierarchy.rs crates/sim/src/llc.rs crates/sim/src/stats.rs crates/sim/src/timing.rs
+
+/root/repo/target/debug/deps/libhllc_sim-994eca54232d7916.rmeta: crates/sim/src/lib.rs crates/sim/src/access.rs crates/sim/src/address.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/data.rs crates/sim/src/dram.rs crates/sim/src/energy.rs crates/sim/src/hierarchy.rs crates/sim/src/llc.rs crates/sim/src/stats.rs crates/sim/src/timing.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/access.rs:
+crates/sim/src/address.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/config.rs:
+crates/sim/src/data.rs:
+crates/sim/src/dram.rs:
+crates/sim/src/energy.rs:
+crates/sim/src/hierarchy.rs:
+crates/sim/src/llc.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/timing.rs:

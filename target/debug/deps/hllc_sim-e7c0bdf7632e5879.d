@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/hllc_sim-e7c0bdf7632e5879.d: crates/sim/src/lib.rs crates/sim/src/access.rs crates/sim/src/address.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/data.rs crates/sim/src/dram.rs crates/sim/src/energy.rs crates/sim/src/hierarchy.rs crates/sim/src/llc.rs crates/sim/src/stats.rs crates/sim/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhllc_sim-e7c0bdf7632e5879.rmeta: crates/sim/src/lib.rs crates/sim/src/access.rs crates/sim/src/address.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/data.rs crates/sim/src/dram.rs crates/sim/src/energy.rs crates/sim/src/hierarchy.rs crates/sim/src/llc.rs crates/sim/src/stats.rs crates/sim/src/timing.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/access.rs:
+crates/sim/src/address.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/config.rs:
+crates/sim/src/data.rs:
+crates/sim/src/dram.rs:
+crates/sim/src/energy.rs:
+crates/sim/src/hierarchy.rs:
+crates/sim/src/llc.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

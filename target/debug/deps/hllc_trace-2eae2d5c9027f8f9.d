@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hllc_trace-2eae2d5c9027f8f9.d: crates/trace/src/lib.rs crates/trace/src/app.rs crates/trace/src/data.rs crates/trace/src/driver.rs crates/trace/src/mix.rs crates/trace/src/pattern.rs crates/trace/src/profile.rs crates/trace/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhllc_trace-2eae2d5c9027f8f9.rmeta: crates/trace/src/lib.rs crates/trace/src/app.rs crates/trace/src/data.rs crates/trace/src/driver.rs crates/trace/src/mix.rs crates/trace/src/pattern.rs crates/trace/src/profile.rs crates/trace/src/spec.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/app.rs:
+crates/trace/src/data.rs:
+crates/trace/src/driver.rs:
+crates/trace/src/mix.rs:
+crates/trace/src/pattern.rs:
+crates/trace/src/profile.rs:
+crates/trace/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

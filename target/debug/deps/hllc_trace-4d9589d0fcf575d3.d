@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hllc_trace-4d9589d0fcf575d3.d: crates/trace/src/lib.rs crates/trace/src/app.rs crates/trace/src/data.rs crates/trace/src/driver.rs crates/trace/src/mix.rs crates/trace/src/pattern.rs crates/trace/src/profile.rs crates/trace/src/spec.rs
+
+/root/repo/target/debug/deps/hllc_trace-4d9589d0fcf575d3: crates/trace/src/lib.rs crates/trace/src/app.rs crates/trace/src/data.rs crates/trace/src/driver.rs crates/trace/src/mix.rs crates/trace/src/pattern.rs crates/trace/src/profile.rs crates/trace/src/spec.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/app.rs:
+crates/trace/src/data.rs:
+crates/trace/src/driver.rs:
+crates/trace/src/mix.rs:
+crates/trace/src/pattern.rs:
+crates/trace/src/profile.rs:
+crates/trace/src/spec.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hllc_trace-c8a2500de2dbf5f6.d: crates/trace/src/lib.rs crates/trace/src/app.rs crates/trace/src/data.rs crates/trace/src/driver.rs crates/trace/src/mix.rs crates/trace/src/pattern.rs crates/trace/src/profile.rs crates/trace/src/spec.rs
+
+/root/repo/target/debug/deps/libhllc_trace-c8a2500de2dbf5f6.rlib: crates/trace/src/lib.rs crates/trace/src/app.rs crates/trace/src/data.rs crates/trace/src/driver.rs crates/trace/src/mix.rs crates/trace/src/pattern.rs crates/trace/src/profile.rs crates/trace/src/spec.rs
+
+/root/repo/target/debug/deps/libhllc_trace-c8a2500de2dbf5f6.rmeta: crates/trace/src/lib.rs crates/trace/src/app.rs crates/trace/src/data.rs crates/trace/src/driver.rs crates/trace/src/mix.rs crates/trace/src/pattern.rs crates/trace/src/profile.rs crates/trace/src/spec.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/app.rs:
+crates/trace/src/data.rs:
+crates/trace/src/driver.rs:
+crates/trace/src/mix.rs:
+crates/trace/src/pattern.rs:
+crates/trace/src/profile.rs:
+crates/trace/src/spec.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hybrid_llc-126bd7ddedca8a02.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhybrid_llc-126bd7ddedca8a02.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhybrid_llc-126bd7ddedca8a02.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hybrid_llc-30e90289c05b394e.d: src/lib.rs
+
+/root/repo/target/debug/deps/hybrid_llc-30e90289c05b394e: src/lib.rs
+
+src/lib.rs:

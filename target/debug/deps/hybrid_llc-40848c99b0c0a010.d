@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/hybrid_llc-40848c99b0c0a010.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/hybrid_llc-40848c99b0c0a010: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hybrid_llc-50fd8c95cf1519b3.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libhybrid_llc-50fd8c95cf1519b3.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libhybrid_llc-50fd8c95cf1519b3.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

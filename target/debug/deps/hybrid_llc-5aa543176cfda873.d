@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hybrid_llc-5aa543176cfda873.d: src/lib.rs src/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhybrid_llc-5aa543176cfda873.rmeta: src/lib.rs src/cli.rs Cargo.toml
+
+src/lib.rs:
+src/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hybrid_llc-eeaed3a3c986225e.d: src/lib.rs src/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhybrid_llc-eeaed3a3c986225e.rmeta: src/lib.rs src/cli.rs Cargo.toml
+
+src/lib.rs:
+src/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

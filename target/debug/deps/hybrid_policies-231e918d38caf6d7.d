@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hybrid_policies-231e918d38caf6d7.d: crates/core/tests/hybrid_policies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhybrid_policies-231e918d38caf6d7.rmeta: crates/core/tests/hybrid_policies.rs Cargo.toml
+
+crates/core/tests/hybrid_policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hybrid_policies-4b342fccd8e38711.d: crates/core/tests/hybrid_policies.rs
+
+/root/repo/target/debug/deps/hybrid_policies-4b342fccd8e38711: crates/core/tests/hybrid_policies.rs
+
+crates/core/tests/hybrid_policies.rs:

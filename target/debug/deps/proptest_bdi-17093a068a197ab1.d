@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_bdi-17093a068a197ab1.d: crates/compress/tests/proptest_bdi.rs
+
+/root/repo/target/debug/deps/proptest_bdi-17093a068a197ab1: crates/compress/tests/proptest_bdi.rs
+
+crates/compress/tests/proptest_bdi.rs:

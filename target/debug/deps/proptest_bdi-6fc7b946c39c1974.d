@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_bdi-6fc7b946c39c1974.d: crates/compress/tests/proptest_bdi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_bdi-6fc7b946c39c1974.rmeta: crates/compress/tests/proptest_bdi.rs Cargo.toml
+
+crates/compress/tests/proptest_bdi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

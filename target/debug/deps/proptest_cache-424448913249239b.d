@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_cache-424448913249239b.d: crates/sim/tests/proptest_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_cache-424448913249239b.rmeta: crates/sim/tests/proptest_cache.rs Cargo.toml
+
+crates/sim/tests/proptest_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_cache-7acf6f8eaebdd70c.d: crates/sim/tests/proptest_cache.rs
+
+/root/repo/target/debug/deps/proptest_cache-7acf6f8eaebdd70c: crates/sim/tests/proptest_cache.rs
+
+crates/sim/tests/proptest_cache.rs:

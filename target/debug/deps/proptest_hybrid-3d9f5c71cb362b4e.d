@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_hybrid-3d9f5c71cb362b4e.d: crates/core/tests/proptest_hybrid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_hybrid-3d9f5c71cb362b4e.rmeta: crates/core/tests/proptest_hybrid.rs Cargo.toml
+
+crates/core/tests/proptest_hybrid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_hybrid-883ca82695249032.d: crates/core/tests/proptest_hybrid.rs
+
+/root/repo/target/debug/deps/proptest_hybrid-883ca82695249032: crates/core/tests/proptest_hybrid.rs
+
+crates/core/tests/proptest_hybrid.rs:

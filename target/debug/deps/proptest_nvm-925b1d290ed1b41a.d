@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_nvm-925b1d290ed1b41a.d: crates/nvm/tests/proptest_nvm.rs
+
+/root/repo/target/debug/deps/proptest_nvm-925b1d290ed1b41a: crates/nvm/tests/proptest_nvm.rs
+
+crates/nvm/tests/proptest_nvm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_nvm-eb11f3497af7eb21.d: crates/nvm/tests/proptest_nvm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_nvm-eb11f3497af7eb21.rmeta: crates/nvm/tests/proptest_nvm.rs Cargo.toml
+
+crates/nvm/tests/proptest_nvm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_patterns-5710487c83bc9b15.d: crates/trace/tests/proptest_patterns.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_patterns-5710487c83bc9b15.rmeta: crates/trace/tests/proptest_patterns.rs Cargo.toml
+
+crates/trace/tests/proptest_patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

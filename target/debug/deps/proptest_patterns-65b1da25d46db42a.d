@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_patterns-65b1da25d46db42a.d: crates/trace/tests/proptest_patterns.rs
+
+/root/repo/target/debug/deps/proptest_patterns-65b1da25d46db42a: crates/trace/tests/proptest_patterns.rs
+
+crates/trace/tests/proptest_patterns.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_secded-4a3c7f9045241d34.d: crates/ecc/tests/proptest_secded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_secded-4a3c7f9045241d34.rmeta: crates/ecc/tests/proptest_secded.rs Cargo.toml
+
+crates/ecc/tests/proptest_secded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

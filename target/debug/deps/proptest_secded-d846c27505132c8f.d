@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_secded-d846c27505132c8f.d: crates/ecc/tests/proptest_secded.rs
+
+/root/repo/target/debug/deps/proptest_secded-d846c27505132c8f: crates/ecc/tests/proptest_secded.rs
+
+crates/ecc/tests/proptest_secded.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reuse_roundtrip-3325b9e79ea84829.d: tests/reuse_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreuse_roundtrip-3325b9e79ea84829.rmeta: tests/reuse_roundtrip.rs Cargo.toml
+
+tests/reuse_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reuse_roundtrip-a0218039ddee39e7.d: tests/reuse_roundtrip.rs
+
+/root/repo/target/debug/deps/reuse_roundtrip-a0218039ddee39e7: tests/reuse_roundtrip.rs
+
+tests/reuse_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reuse_roundtrip-db83626b2a45e2cd.d: tests/reuse_roundtrip.rs
+
+/root/repo/target/debug/deps/reuse_roundtrip-db83626b2a45e2cd: tests/reuse_roundtrip.rs
+
+tests/reuse_roundtrip.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-b9b0d8d23634ca9f.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-b9b0d8d23634ca9f.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-b9b0d8d23634ca9f.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

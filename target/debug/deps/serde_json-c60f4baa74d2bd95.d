@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-c60f4baa74d2bd95.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-c60f4baa74d2bd95: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_determinism-23b23f03a59be54c.d: tests/sweep_determinism.rs
+
+/root/repo/target/debug/deps/sweep_determinism-23b23f03a59be54c: tests/sweep_determinism.rs
+
+tests/sweep_determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5-b21d4dfcecac600a.d: crates/bench/benches/table5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5-b21d4dfcecac600a.rmeta: crates/bench/benches/table5.rs Cargo.toml
+
+crates/bench/benches/table5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/timing_exactness-bfb99189a2b64638.d: crates/sim/tests/timing_exactness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtiming_exactness-bfb99189a2b64638.rmeta: crates/sim/tests/timing_exactness.rs Cargo.toml
+
+crates/sim/tests/timing_exactness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timing_exactness-d110627c6db3ac40.d: crates/sim/tests/timing_exactness.rs
+
+/root/repo/target/debug/deps/timing_exactness-d110627c6db3ac40: crates/sim/tests/timing_exactness.rs
+
+crates/sim/tests/timing_exactness.rs:

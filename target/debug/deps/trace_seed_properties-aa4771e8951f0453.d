@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_seed_properties-aa4771e8951f0453.d: tests/trace_seed_properties.rs
+
+/root/repo/target/debug/deps/trace_seed_properties-aa4771e8951f0453: tests/trace_seed_properties.rs
+
+tests/trace_seed_properties.rs:

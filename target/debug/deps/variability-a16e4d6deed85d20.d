@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/variability-a16e4d6deed85d20.d: crates/bench/benches/variability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvariability-a16e4d6deed85d20.rmeta: crates/bench/benches/variability.rs Cargo.toml
+
+crates/bench/benches/variability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/write_contention-4c93c173449617c8.d: crates/core/tests/write_contention.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwrite_contention-4c93c173449617c8.rmeta: crates/core/tests/write_contention.rs Cargo.toml
+
+crates/core/tests/write_contention.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

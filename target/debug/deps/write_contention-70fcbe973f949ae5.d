@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/write_contention-70fcbe973f949ae5.d: crates/core/tests/write_contention.rs
+
+/root/repo/target/debug/deps/write_contention-70fcbe973f949ae5: crates/core/tests/write_contention.rs
+
+crates/core/tests/write_contention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compression_explorer-34251733af29b5a8.d: examples/compression_explorer.rs
+
+/root/repo/target/debug/examples/compression_explorer-34251733af29b5a8: examples/compression_explorer.rs
+
+examples/compression_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compression_explorer-7cddec1dcfe1958b.d: examples/compression_explorer.rs
+
+/root/repo/target/debug/examples/compression_explorer-7cddec1dcfe1958b: examples/compression_explorer.rs
+
+examples/compression_explorer.rs:

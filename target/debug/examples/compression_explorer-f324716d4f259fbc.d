@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compression_explorer-f324716d4f259fbc.d: examples/compression_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompression_explorer-f324716d4f259fbc.rmeta: examples/compression_explorer.rs Cargo.toml
+
+examples/compression_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dueling_dynamics-a28684fe98247c48.d: examples/dueling_dynamics.rs
+
+/root/repo/target/debug/examples/dueling_dynamics-a28684fe98247c48: examples/dueling_dynamics.rs
+
+examples/dueling_dynamics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dueling_dynamics-d284091dd655b0b6.d: examples/dueling_dynamics.rs
+
+/root/repo/target/debug/examples/dueling_dynamics-d284091dd655b0b6: examples/dueling_dynamics.rs
+
+examples/dueling_dynamics.rs:

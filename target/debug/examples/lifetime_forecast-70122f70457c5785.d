@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lifetime_forecast-70122f70457c5785.d: examples/lifetime_forecast.rs
+
+/root/repo/target/debug/examples/lifetime_forecast-70122f70457c5785: examples/lifetime_forecast.rs
+
+examples/lifetime_forecast.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lifetime_forecast-8b427ee2f4f1c5f0.d: examples/lifetime_forecast.rs
+
+/root/repo/target/debug/examples/lifetime_forecast-8b427ee2f4f1c5f0: examples/lifetime_forecast.rs
+
+examples/lifetime_forecast.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lifetime_forecast-c786e64a5329dadf.d: examples/lifetime_forecast.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblifetime_forecast-c786e64a5329dadf.rmeta: examples/lifetime_forecast.rs Cargo.toml
+
+examples/lifetime_forecast.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_faceoff-5b8ca3bffda31e8d.d: examples/policy_faceoff.rs
+
+/root/repo/target/debug/examples/policy_faceoff-5b8ca3bffda31e8d: examples/policy_faceoff.rs
+
+examples/policy_faceoff.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_faceoff-e68d0512c42e9c64.d: examples/policy_faceoff.rs
+
+/root/repo/target/debug/examples/policy_faceoff-e68d0512c42e9c64: examples/policy_faceoff.rs
+
+examples/policy_faceoff.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/policy_faceoff-eec49e1b5d421e43.d: examples/policy_faceoff.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpolicy_faceoff-eec49e1b5d421e43.rmeta: examples/policy_faceoff.rs Cargo.toml
+
+examples/policy_faceoff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7803037f047e4041.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7803037f047e4041: examples/quickstart.rs
+
+examples/quickstart.rs:

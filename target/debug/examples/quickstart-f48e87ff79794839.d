@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f48e87ff79794839.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f48e87ff79794839: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wear_and_tear-057692a4c94ef539.d: examples/wear_and_tear.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwear_and_tear-057692a4c94ef539.rmeta: examples/wear_and_tear.rs Cargo.toml
+
+examples/wear_and_tear.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

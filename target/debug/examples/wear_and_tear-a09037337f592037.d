@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wear_and_tear-a09037337f592037.d: examples/wear_and_tear.rs
+
+/root/repo/target/debug/examples/wear_and_tear-a09037337f592037: examples/wear_and_tear.rs
+
+examples/wear_and_tear.rs:

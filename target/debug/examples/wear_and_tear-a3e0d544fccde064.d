@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wear_and_tear-a3e0d544fccde064.d: examples/wear_and_tear.rs
+
+/root/repo/target/debug/examples/wear_and_tear-a3e0d544fccde064: examples/wear_and_tear.rs
+
+examples/wear_and_tear.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libhllc_ecc.rlib: /root/repo/crates/ecc/src/bitvec.rs /root/repo/crates/ecc/src/hamming.rs /root/repo/crates/ecc/src/lib.rs /root/repo/crates/ecc/src/secded.rs

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10a-90f742b419ae049d.d: crates/bench/benches/fig10a.rs
+
+/root/repo/target/release/deps/fig10a-90f742b419ae049d: crates/bench/benches/fig10a.rs
+
+crates/bench/benches/fig10a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-7382c731c923180f.d: crates/bench/benches/fig6.rs
+
+/root/repo/target/release/deps/fig6-7382c731c923180f: crates/bench/benches/fig6.rs
+
+crates/bench/benches/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hllc-300bb5486056d2de.d: src/bin/hllc.rs
+
+/root/repo/target/release/deps/hllc-300bb5486056d2de: src/bin/hllc.rs
+
+src/bin/hllc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hllc-793ea1995ba0ae5d.d: src/bin/hllc.rs
+
+/root/repo/target/release/deps/hllc-793ea1995ba0ae5d: src/bin/hllc.rs
+
+src/bin/hllc.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hllc_bench-09ad1d90ddc161b0.d: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/report.rs crates/bench/src/stats.rs
+
+/root/repo/target/release/deps/libhllc_bench-09ad1d90ddc161b0.rlib: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/report.rs crates/bench/src/stats.rs
+
+/root/repo/target/release/deps/libhllc_bench-09ad1d90ddc161b0.rmeta: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/report.rs crates/bench/src/stats.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp.rs:
+crates/bench/src/report.rs:
+crates/bench/src/stats.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hllc_compress-8ef6b7df622e4e3f.d: crates/compress/src/lib.rs crates/compress/src/analysis.rs crates/compress/src/bdi.rs crates/compress/src/block.rs crates/compress/src/encoding.rs crates/compress/src/fpc.rs
+
+/root/repo/target/release/deps/libhllc_compress-8ef6b7df622e4e3f.rlib: crates/compress/src/lib.rs crates/compress/src/analysis.rs crates/compress/src/bdi.rs crates/compress/src/block.rs crates/compress/src/encoding.rs crates/compress/src/fpc.rs
+
+/root/repo/target/release/deps/libhllc_compress-8ef6b7df622e4e3f.rmeta: crates/compress/src/lib.rs crates/compress/src/analysis.rs crates/compress/src/bdi.rs crates/compress/src/block.rs crates/compress/src/encoding.rs crates/compress/src/fpc.rs
+
+crates/compress/src/lib.rs:
+crates/compress/src/analysis.rs:
+crates/compress/src/bdi.rs:
+crates/compress/src/block.rs:
+crates/compress/src/encoding.rs:
+crates/compress/src/fpc.rs:

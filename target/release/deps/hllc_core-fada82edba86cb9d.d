@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hllc_core-fada82edba86cb9d.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/dueling.rs crates/core/src/hybrid.rs crates/core/src/line.rs crates/core/src/policy.rs
+
+/root/repo/target/release/deps/libhllc_core-fada82edba86cb9d.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/dueling.rs crates/core/src/hybrid.rs crates/core/src/line.rs crates/core/src/policy.rs
+
+/root/repo/target/release/deps/libhllc_core-fada82edba86cb9d.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/dueling.rs crates/core/src/hybrid.rs crates/core/src/line.rs crates/core/src/policy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/dueling.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/line.rs:
+crates/core/src/policy.rs:

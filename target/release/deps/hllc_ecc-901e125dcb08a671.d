@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hllc_ecc-901e125dcb08a671.d: crates/ecc/src/lib.rs crates/ecc/src/bitvec.rs crates/ecc/src/hamming.rs crates/ecc/src/secded.rs
+
+/root/repo/target/release/deps/libhllc_ecc-901e125dcb08a671.rlib: crates/ecc/src/lib.rs crates/ecc/src/bitvec.rs crates/ecc/src/hamming.rs crates/ecc/src/secded.rs
+
+/root/repo/target/release/deps/libhllc_ecc-901e125dcb08a671.rmeta: crates/ecc/src/lib.rs crates/ecc/src/bitvec.rs crates/ecc/src/hamming.rs crates/ecc/src/secded.rs
+
+crates/ecc/src/lib.rs:
+crates/ecc/src/bitvec.rs:
+crates/ecc/src/hamming.rs:
+crates/ecc/src/secded.rs:

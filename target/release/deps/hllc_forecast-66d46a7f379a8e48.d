@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hllc_forecast-66d46a7f379a8e48.d: crates/forecast/src/lib.rs crates/forecast/src/phase.rs crates/forecast/src/predict.rs crates/forecast/src/procedure.rs crates/forecast/src/series.rs
+
+/root/repo/target/release/deps/libhllc_forecast-66d46a7f379a8e48.rlib: crates/forecast/src/lib.rs crates/forecast/src/phase.rs crates/forecast/src/predict.rs crates/forecast/src/procedure.rs crates/forecast/src/series.rs
+
+/root/repo/target/release/deps/libhllc_forecast-66d46a7f379a8e48.rmeta: crates/forecast/src/lib.rs crates/forecast/src/phase.rs crates/forecast/src/predict.rs crates/forecast/src/procedure.rs crates/forecast/src/series.rs
+
+crates/forecast/src/lib.rs:
+crates/forecast/src/phase.rs:
+crates/forecast/src/predict.rs:
+crates/forecast/src/procedure.rs:
+crates/forecast/src/series.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/hllc_nvm-0e99a36823ffa909.d: crates/nvm/src/lib.rs crates/nvm/src/array.rs crates/nvm/src/endurance.rs crates/nvm/src/fault_map.rs crates/nvm/src/frame.rs crates/nvm/src/rearrange.rs crates/nvm/src/setlevel.rs crates/nvm/src/wear.rs
+
+/root/repo/target/release/deps/libhllc_nvm-0e99a36823ffa909.rlib: crates/nvm/src/lib.rs crates/nvm/src/array.rs crates/nvm/src/endurance.rs crates/nvm/src/fault_map.rs crates/nvm/src/frame.rs crates/nvm/src/rearrange.rs crates/nvm/src/setlevel.rs crates/nvm/src/wear.rs
+
+/root/repo/target/release/deps/libhllc_nvm-0e99a36823ffa909.rmeta: crates/nvm/src/lib.rs crates/nvm/src/array.rs crates/nvm/src/endurance.rs crates/nvm/src/fault_map.rs crates/nvm/src/frame.rs crates/nvm/src/rearrange.rs crates/nvm/src/setlevel.rs crates/nvm/src/wear.rs
+
+crates/nvm/src/lib.rs:
+crates/nvm/src/array.rs:
+crates/nvm/src/endurance.rs:
+crates/nvm/src/fault_map.rs:
+crates/nvm/src/frame.rs:
+crates/nvm/src/rearrange.rs:
+crates/nvm/src/setlevel.rs:
+crates/nvm/src/wear.rs:

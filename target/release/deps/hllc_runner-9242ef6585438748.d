@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hllc_runner-9242ef6585438748.d: crates/runner/src/lib.rs crates/runner/src/pool.rs crates/runner/src/seed.rs crates/runner/src/sweep.rs
+
+/root/repo/target/release/deps/libhllc_runner-9242ef6585438748.rlib: crates/runner/src/lib.rs crates/runner/src/pool.rs crates/runner/src/seed.rs crates/runner/src/sweep.rs
+
+/root/repo/target/release/deps/libhllc_runner-9242ef6585438748.rmeta: crates/runner/src/lib.rs crates/runner/src/pool.rs crates/runner/src/seed.rs crates/runner/src/sweep.rs
+
+crates/runner/src/lib.rs:
+crates/runner/src/pool.rs:
+crates/runner/src/seed.rs:
+crates/runner/src/sweep.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/hllc_trace-d0e3de73cee5e4ad.d: crates/trace/src/lib.rs crates/trace/src/app.rs crates/trace/src/data.rs crates/trace/src/driver.rs crates/trace/src/mix.rs crates/trace/src/pattern.rs crates/trace/src/profile.rs crates/trace/src/spec.rs
+
+/root/repo/target/release/deps/libhllc_trace-d0e3de73cee5e4ad.rlib: crates/trace/src/lib.rs crates/trace/src/app.rs crates/trace/src/data.rs crates/trace/src/driver.rs crates/trace/src/mix.rs crates/trace/src/pattern.rs crates/trace/src/profile.rs crates/trace/src/spec.rs
+
+/root/repo/target/release/deps/libhllc_trace-d0e3de73cee5e4ad.rmeta: crates/trace/src/lib.rs crates/trace/src/app.rs crates/trace/src/data.rs crates/trace/src/driver.rs crates/trace/src/mix.rs crates/trace/src/pattern.rs crates/trace/src/profile.rs crates/trace/src/spec.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/app.rs:
+crates/trace/src/data.rs:
+crates/trace/src/driver.rs:
+crates/trace/src/mix.rs:
+crates/trace/src/pattern.rs:
+crates/trace/src/profile.rs:
+crates/trace/src/spec.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hybrid_llc-ba1d110169cbe9a9.d: src/lib.rs
+
+/root/repo/target/release/deps/libhybrid_llc-ba1d110169cbe9a9.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhybrid_llc-ba1d110169cbe9a9.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/hybrid_llc-da0a71dbaafec3e1.d: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libhybrid_llc-da0a71dbaafec3e1.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libhybrid_llc-da0a71dbaafec3e1.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

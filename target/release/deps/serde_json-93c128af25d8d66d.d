@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-93c128af25d8d66d.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-93c128af25d8d66d.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-93c128af25d8d66d.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -9,7 +9,12 @@ use proptest::prelude::*;
 
 /// Writes a block into a frame image and reads it back, optionally
 /// flipping one stored bit. Returns the recovered block.
-fn round_trip(block: &Block, fault_map: &FaultMap, offset: usize, flip_bit: Option<usize>) -> Block {
+fn round_trip(
+    block: &Block,
+    fault_map: &FaultMap,
+    offset: usize,
+    flip_bit: Option<usize>,
+) -> Block {
     let compressor = Compressor::new();
     let codec = FrameCodec::new();
 
@@ -20,7 +25,10 @@ fn round_trip(block: &Block, fault_map: &FaultMap, offset: usize, flip_bit: Opti
     let word = codec.encode(cb.encoding().ce(), &padded);
     let ecb = codec.pack_ecb(&word, cb.size());
     assert_eq!(ecb.len(), cb.size() as usize + 2);
-    assert!(ecb.len() <= fault_map.live_bytes(), "test harness must pick fitting frames");
+    assert!(
+        ecb.len() <= fault_map.live_bytes(),
+        "test harness must pick fitting frames"
+    );
     let (recb, mask) = rearrange::scatter(&ecb, fault_map, offset);
     assert_eq!(mask & fault_map.raw(), 0, "never write faulty bytes");
 
@@ -39,9 +47,12 @@ fn round_trip(block: &Block, fault_map: &FaultMap, offset: usize, flip_bit: Opti
     };
     let (ce, bytes) = FrameCodec::split_payload(&payload);
     let encoding = Encoding::from_ce(ce).expect("valid CE");
-    CompressedBlock::from_parts(encoding, bytes[..encoding.compressed_size() as usize].to_vec())
-        .expect("payload length matches")
-        .decompress()
+    CompressedBlock::from_parts(
+        encoding,
+        bytes[..encoding.compressed_size() as usize].to_vec(),
+    )
+    .expect("payload length matches")
+    .decompress()
 }
 
 #[test]

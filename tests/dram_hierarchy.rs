@@ -18,7 +18,10 @@ fn streaming_misses_enjoy_row_buffer_hits() {
         h.access(&Access::load(0, b * 64));
     }
     let (hits, misses, conflicts) = h.dram().unwrap().stats();
-    assert!(hits > 10 * (misses + conflicts), "stream must be row-hit dominated: {hits} vs {misses}+{conflicts}");
+    assert!(
+        hits > 10 * (misses + conflicts),
+        "stream must be row-hit dominated: {hits} vs {misses}+{conflicts}"
+    );
 }
 
 #[test]

@@ -33,7 +33,13 @@ fn run_policy(policy: Policy, mix_idx: usize) -> (LlcStats, f64) {
 
 #[test]
 fn llc_stats_are_internally_consistent() {
-    for policy in [Policy::Bh, Policy::BhCp, Policy::cp_sd(), Policy::LHybrid, Policy::tap()] {
+    for policy in [
+        Policy::Bh,
+        Policy::BhCp,
+        Policy::cp_sd(),
+        Policy::LHybrid,
+        Policy::tap(),
+    ] {
         let (s, ipc) = run_policy(policy, 0);
         assert_eq!(s.hits + s.misses, s.requests(), "{policy:?}");
         assert_eq!(s.hits, s.sram_hits + s.nvm_hits, "{policy:?}");
@@ -111,7 +117,11 @@ fn every_access_is_served_exactly_once() {
     drive_cycles(&mut h, &mut streams, 300_000.0);
     let s = h.stats();
     let served: u64 = s.services.iter().sum();
-    assert_eq!(served, s.accesses(), "each access resolves at exactly one level");
+    assert_eq!(
+        served,
+        s.accesses(),
+        "each access resolves at exactly one level"
+    );
     // LLC requests seen by the LLC equal the LLC-or-beyond services plus
     // upgrades (S->M GetX from L1/L2 hits).
     let llc_requests = h.llc().stats().requests();

@@ -42,19 +42,30 @@ fn lifetime_ordering_matches_the_paper() {
     let lhybrid = life(Policy::LHybrid);
     assert!(bh.is_finite(), "BH must age to 75% capacity");
     assert!(bh < bh_cp, "compression extends lifetime ({bh} !< {bh_cp})");
-    assert!(bh_cp < cp_sd, "NVM-aware insertion extends lifetime further");
+    assert!(
+        bh_cp < cp_sd,
+        "NVM-aware insertion extends lifetime further"
+    );
     assert!(cp_sd < lhybrid, "LHybrid is the most conservative");
 }
 
 #[test]
 fn performance_ordering_matches_the_paper() {
     let mix = &mixes()[0];
-    let ipc0 = |p: Policy| Forecast::new(tiny(p, 3e6)).run(mix, 7).initial_ipc().unwrap();
+    let ipc0 = |p: Policy| {
+        Forecast::new(tiny(p, 3e6))
+            .run(mix, 7)
+            .initial_ipc()
+            .unwrap()
+    };
     let bh = ipc0(Policy::Bh);
     let cp_sd = ipc0(Policy::cp_sd());
     let lhybrid = ipc0(Policy::LHybrid);
     let tap = ipc0(Policy::tap());
-    assert!(cp_sd > lhybrid, "CP_SD outperforms LHybrid ({cp_sd} !> {lhybrid})");
+    assert!(
+        cp_sd > lhybrid,
+        "CP_SD outperforms LHybrid ({cp_sd} !> {lhybrid})"
+    );
     assert!(lhybrid > tap, "LHybrid outperforms TAP");
     assert!(cp_sd > 0.9 * bh, "CP_SD stays near BH performance");
 }
@@ -63,12 +74,18 @@ fn performance_ordering_matches_the_paper() {
 fn capacity_and_ipc_degrade_together() {
     let series = Forecast::new(tiny(Policy::Bh, 3e6)).run(&mixes()[1], 9);
     for w in series.points.windows(2) {
-        assert!(w[1].capacity <= w[0].capacity + 1e-12, "capacity must not grow");
+        assert!(
+            w[1].capacity <= w[0].capacity + 1e-12,
+            "capacity must not grow"
+        );
     }
     let first = series.points.first().unwrap();
     let last = series.points.last().unwrap();
     assert!(last.capacity < first.capacity);
-    assert!(last.ipc <= first.ipc * 1.02, "IPC should not improve as the cache dies");
+    assert!(
+        last.ipc <= first.ipc * 1.02,
+        "IPC should not improve as the cache dies"
+    );
 }
 
 #[test]
@@ -76,8 +93,14 @@ fn lifetimes_scale_linearly_with_endurance() {
     // t_fail = endurance / write-rate: doubling μ must double measured
     // lifetime (the basis of the ×100 scaled-time equivalence).
     let mix = &mixes()[0];
-    let l1 = Forecast::new(tiny(Policy::Bh, 2e6)).run(mix, 7).lifetime_seconds(0.8).unwrap();
-    let l2 = Forecast::new(tiny(Policy::Bh, 4e6)).run(mix, 7).lifetime_seconds(0.8).unwrap();
+    let l1 = Forecast::new(tiny(Policy::Bh, 2e6))
+        .run(mix, 7)
+        .lifetime_seconds(0.8)
+        .unwrap();
+    let l2 = Forecast::new(tiny(Policy::Bh, 4e6))
+        .run(mix, 7)
+        .lifetime_seconds(0.8)
+        .unwrap();
     let ratio = l2 / l1;
     assert!(
         (ratio - 2.0).abs() < 0.35,

@@ -47,15 +47,25 @@ fn read_then_write_reuse_round_trip() {
     // (2) Evict from L2 (two conflicting fills) → LLC insert, by size → NVM.
     h.access(&Access::load(0, addr(1)));
     h.access(&Access::load(0, addr(2)));
-    assert_eq!(h.llc().locate(target / 64), Some(Part::Nvm), "no-reuse small block → NVM");
+    assert_eq!(
+        h.llc().locate(target / 64),
+        Some(Part::Nvm),
+        "no-reuse small block → NVM"
+    );
 
     // (3) Reload: LLC GetS hit tags read-reuse; block stays in the LLC.
     h.access(&Access::load(0, target));
-    assert_eq!(h.llc().peek(target / 64).unwrap().reuse, hybrid_llc::sim::ReuseClass::Read);
+    assert_eq!(
+        h.llc().peek(target / 64).unwrap().reuse,
+        hybrid_llc::sim::ReuseClass::Read
+    );
 
     // (4) Store: S→M upgrade goes through the LLC as GetX and invalidates.
     h.access(&Access::store(0, target));
-    assert!(!h.llc().contains(target / 64), "GetX hit must invalidate the LLC copy");
+    assert!(
+        !h.llc().contains(target / 64),
+        "GetX hit must invalidate the LLC copy"
+    );
 
     // (5) Evict the now-dirty block from L2 again: write-reuse → SRAM.
     h.access(&Access::load(0, addr(3)));
@@ -80,7 +90,11 @@ fn read_reuse_blocks_return_to_nvm() {
     h.access(&Access::load(0, target));
     h.access(&Access::load(0, addr(1)));
     h.access(&Access::load(0, addr(2)));
-    assert_eq!(h.llc().locate(target / 64), Some(Part::Sram), "big no-reuse block → SRAM");
+    assert_eq!(
+        h.llc().locate(target / 64),
+        Some(Part::Sram),
+        "big no-reuse block → SRAM"
+    );
 
     // Reload tags Read (clean hit) and keeps it resident.
     h.access(&Access::load(0, target));
@@ -104,16 +118,19 @@ fn memory_refill_loses_history() {
     h.access(&Access::load(0, addr(1)));
     h.access(&Access::load(0, addr(2)));
     h.access(&Access::load(0, target)); // Read tag
-    // Flood LLC set 0 (blocks ≡ 0 mod 16 within the LLC) via direct inserts:
-    // 16 conflicting L2-evicted blocks. LLC set of `target` is 0; blocks
-    // addr(8k) map there (8k*2 % 16 == 0).
+                                        // Flood LLC set 0 (blocks ≡ 0 mod 16 within the LLC) via direct inserts:
+                                        // 16 conflicting L2-evicted blocks. LLC set of `target` is 0; blocks
+                                        // addr(8k) map there (8k*2 % 16 == 0).
     for k in 1..40 {
         let a = addr(8 * k);
         h.access(&Access::load(0, a));
         h.access(&Access::load(0, addr(8 * k + 1)));
         h.access(&Access::load(0, addr(8 * k + 2)));
     }
-    assert!(!h.llc().contains(target / 64), "flood must evict the target");
+    assert!(
+        !h.llc().contains(target / 64),
+        "flood must evict the target"
+    );
 
     // Refill from memory: history gone, the block is no-reuse again.
     h.access(&Access::load(0, target));

@@ -1,0 +1,47 @@
+//! The runner's headline guarantee: a sweep's JSON report is byte-identical
+//! for every `--jobs` setting.
+
+use hybrid_llc::llc::Policy;
+use hybrid_llc::runner::{report_json, run_sweep, SweepSpec};
+
+fn spec(threads: usize) -> SweepSpec {
+    SweepSpec {
+        policies: vec![("bh".into(), Policy::Bh), ("cp_sd".into(), Policy::cp_sd())],
+        mixes: vec![0, 1],
+        seeds: 2,
+        capacities: vec![1.0, 0.7],
+        base_seed: 42,
+        sets: 64,
+        warmup_cycles: 5_000.0,
+        measure_cycles: 10_000.0,
+        threads,
+    }
+}
+
+#[test]
+fn jobs_1_and_jobs_4_reports_are_byte_identical() {
+    let serial = serde_json::to_string_pretty(&report_json(&run_sweep(&spec(1)))).unwrap();
+    let parallel = serde_json::to_string_pretty(&report_json(&run_sweep(&spec(4)))).unwrap();
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel, "thread count leaked into the report");
+}
+
+#[test]
+fn rerunning_the_same_spec_is_reproducible() {
+    let a = serde_json::to_string_pretty(&report_json(&run_sweep(&spec(4)))).unwrap();
+    let b = serde_json::to_string_pretty(&report_json(&run_sweep(&spec(4)))).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn base_seed_changes_the_measurements() {
+    let mut other = spec(4);
+    other.base_seed = 43;
+    let a = report_json(&run_sweep(&spec(4)));
+    let b = report_json(&run_sweep(&other));
+    assert_ne!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "base_seed had no effect"
+    );
+}

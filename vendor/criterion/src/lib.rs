@@ -1,0 +1,135 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides the `Criterion` / `Bencher` / `criterion_group!` /
+//! `criterion_main!` surface the microbenchmarks use. It times each
+//! benchmark with `std::time::Instant` over a fixed measurement window and
+//! prints a mean ns/iter — good enough for relative comparisons, with none
+//! of criterion's statistics.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Strategy for batched timing; only a sizing hint here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs: large batches.
+    SmallInput,
+    /// Large per-iteration inputs: one input per measurement.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Times a single benchmark routine.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly for the measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        for _ in 0..16 {
+            std_black_box(routine());
+        }
+        let window = measurement_window();
+        let start = Instant::now();
+        while start.elapsed() < window {
+            std_black_box(routine());
+            self.iters += 1;
+        }
+        self.total = start.elapsed();
+    }
+
+    /// Runs `routine` over fresh inputs from `setup`, timing only `routine`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std_black_box(routine(setup()));
+        let window = measurement_window();
+        let mut measured = Duration::ZERO;
+        while measured < window {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            measured += start.elapsed();
+            self.iters += 1;
+        }
+        self.total = measured;
+    }
+}
+
+fn measurement_window() -> Duration {
+    let ms = std::env::var("CRITERION_MEASUREMENT_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    Duration::from_millis(ms)
+}
+
+/// Entry point handed to every benchmark function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Times `f` and prints a mean ns/iter line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        if b.iters == 0 {
+            println!("{id:<40} (no iterations)");
+        } else {
+            let ns = b.total.as_nanos() as f64 / b.iters as f64;
+            println!("{id:<40} {ns:>14.1} ns/iter ({} iters)", b.iters);
+        }
+        self
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_counts_iterations() {
+        std::env::set_var("CRITERION_MEASUREMENT_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput)
+        });
+    }
+}

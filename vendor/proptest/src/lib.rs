@@ -1,0 +1,648 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the slice of proptest's API the workspace's tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map`;
+//! * range, tuple, [`Just`], [`any`], `prop::collection::{vec, btree_set}`,
+//!   and `prop::option::of` strategies;
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//!   plus `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`,
+//!   and `prop_assume!`.
+//!
+//! Differences from upstream: inputs are drawn from a deterministic
+//! per-test RNG (seeded from the test's module path), there is **no
+//! shrinking**, and failures report the case number instead of a minimized
+//! input. `PROPTEST_CASES` is honoured for the default case count.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Runner configuration: how many random cases each property sees.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running exactly `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 256 cases, overridable via the `PROPTEST_CASES` environment variable.
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// The deterministic RNG driving strategy sampling.
+#[derive(Clone, Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Creates the RNG for a named test; the same name always yields the
+    /// same input stream, so failures reproduce without a persistence file.
+    pub fn for_test(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy: Clone {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> O + Clone,
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let s = self;
+        BoxedStrategy(Rc::new(move |rng| s.sample(rng)))
+    }
+}
+
+/// A type-erased strategy (also the branch representation of `prop_oneof!`).
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O + Clone,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed branches; built by `prop_oneof!`.
+pub struct Union<T> {
+    branches: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            branches: self.branches.clone(),
+        }
+    }
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `branches`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branches` is empty.
+    pub fn new(branches: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(
+            !branches.is_empty(),
+            "prop_oneof! needs at least one branch"
+        );
+        Union { branches }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.branches.len());
+        self.branches[i].sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_via_gen {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_via_gen!(u8, u32, u64, usize, i64, bool, f64);
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(std::marker::PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy for any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// A size specification for collection strategies.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl SizeRange {
+    fn pick(self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.lo..=self.hi)
+    }
+}
+
+/// Strategy combinator modules, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, TestRng};
+        use std::collections::BTreeSet;
+
+        /// A strategy for `Vec`s with lengths in `size`.
+        #[derive(Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// Generates vectors of values from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let n = self.size.pick(rng);
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// A strategy for `BTreeSet`s with target sizes in `size`.
+        #[derive(Clone)]
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// Generates sets of values from `element`. If the element domain is
+        /// too small the set may come out below the target size.
+        pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            BTreeSetStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S> Strategy for BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let target = self.size.pick(rng);
+                let mut out = BTreeSet::new();
+                // Bounded retries so tiny domains terminate below target.
+                for _ in 0..target.saturating_mul(8).max(8) {
+                    if out.len() >= target {
+                        break;
+                    }
+                    out.insert(self.element.sample(rng));
+                }
+                out
+            }
+        }
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// A strategy for `Option<T>`; built by [`of`].
+        #[derive(Clone)]
+        pub struct OptionStrategy<S>(S);
+
+        /// Generates `Some` from `inner` about three quarters of the time.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                if rng.gen_bool(0.75) {
+                    Some(self.0.sample(rng))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// Why a property-test case did not pass: a failed assertion, or a filtered
+/// assumption (which merely skips the case).
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the case out; it does not count as a failure.
+    Reject(String),
+    /// A `prop_assert*!` failed; the enclosing test panics with the reason.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failing case with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejected (skipped) case with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// What a property-test case body evaluates to.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+        TestCaseResult,
+    };
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Boxes a strategy branch for `prop_oneof!` (implementation detail).
+pub fn __branch<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+    s.boxed()
+}
+
+/// Uniform choice between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::__branch($strategy)),+])
+    };
+}
+
+/// Asserts a property-test condition, failing the case via
+/// [`TestCaseError`] (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?} == {:?}`", __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}: `{:?} == {:?}`", format!($($fmt)*), __l, __r
+        );
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?} != {:?}`", __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "{}: `{:?} != {:?}`", format!($($fmt)*), __l, __r
+        );
+    }};
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running the body over `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Expansion worker for [`proptest!`] (implementation detail).
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__cfg.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut __rng);)+
+                    let __result: $crate::TestCaseResult = (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match __result {
+                        ::core::result::Result::Ok(()) => {}
+                        ::core::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                        ::core::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                            panic!("property {} failed at case {}: {}", stringify!($name), __case, __msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = crate::TestRng::for_test("ranges");
+        for _ in 0..1000 {
+            let v = (3u64..9).sample(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (0.25f64..0.5).sample(&mut rng);
+            assert!((0.25..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_branch() {
+        let s = prop_oneof![Just(1u8), Just(2), Just(3)];
+        let mut rng = crate::TestRng::for_test("oneof");
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(s.sample(&mut rng));
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn vec_respects_size_spec() {
+        let s = prop::collection::vec(0u8..10, 2..5);
+        let mut rng = crate::TestRng::for_test("vec");
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+        let exact = prop::collection::vec(any::<bool>(), 7usize);
+        assert_eq!(exact.sample(&mut rng).len(), 7);
+    }
+
+    #[test]
+    fn btree_set_reaches_target_in_large_domains() {
+        let s = prop::collection::btree_set(0usize..1000, 4..=4);
+        let mut rng = crate::TestRng::for_test("btree");
+        assert_eq!(s.sample(&mut rng).len(), 4);
+    }
+
+    #[test]
+    fn option_of_produces_both_variants() {
+        let s = prop::option::of(0u8..5);
+        let mut rng = crate::TestRng::for_test("opt");
+        let draws: Vec<_> = (0..200).map(|_| s.sample(&mut rng)).collect();
+        assert!(draws.iter().any(Option::is_some));
+        assert!(draws.iter().any(Option::is_none));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro wires strategies, assume, and assertions together.
+        #[test]
+        fn macro_round_trip(a in 0u64..50, b in any::<bool>()) {
+            prop_assume!(a != 13);
+            prop_assert!(a < 50);
+            prop_assert_ne!(a, 13, "assume filtered {}", a);
+            if b {
+                prop_assert_eq!(a, a);
+            }
+        }
+    }
+}

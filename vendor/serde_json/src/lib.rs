@@ -1,0 +1,399 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the slice of `serde_json` the workspace uses: the [`Value`]
+//! tree, the [`json!`] macro (flat `{"key": expr, ..}` / `[expr, ..]` forms),
+//! and [`to_string`] / [`to_string_pretty`].
+//!
+//! Serialization is **deterministic by construction**: objects store their
+//! members in a `BTreeMap`, so keys always serialize in sorted order and two
+//! structurally equal values produce byte-identical text. The experiment
+//! runner's N-thread ≡ 1-thread report guarantee rests on this property.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON number: unsigned, signed, or floating point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// An unsigned integer.
+    U64(u64),
+    /// A negative (or any signed) integer.
+    I64(i64),
+    /// A finite double. Non-finite values serialize as `null`.
+    F64(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::U64(v) => write!(f, "{v}"),
+            Number::I64(v) => write!(f, "{v}"),
+            Number::F64(v) if v.is_finite() => write!(f, "{v}"),
+            Number::F64(_) => write!(f, "null"),
+        }
+    }
+}
+
+/// A JSON value tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; `BTreeMap` keeps key order sorted and serialization
+    /// deterministic.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member lookup on objects; `None` for other variants or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as f64, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::U64(v)) => Some(*v as f64),
+            Value::Number(Number::I64(v)) => Some(*v as f64),
+            Value::Number(Number::F64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String, pretty: bool, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&n.to_string()),
+            Value::String(s) => write_escaped(s, out),
+            Value::Array(items) => {
+                write_seq(out, pretty, indent, '[', ']', items.iter(), |v, o, i| {
+                    v.write(o, pretty, i);
+                })
+            }
+            Value::Object(members) => {
+                write_seq(
+                    out,
+                    pretty,
+                    indent,
+                    '{',
+                    '}',
+                    members.iter(),
+                    |(k, v), o, i| {
+                        write_escaped(k, o);
+                        o.push(':');
+                        if pretty {
+                            o.push(' ');
+                        }
+                        v.write(o, pretty, i);
+                    },
+                );
+            }
+        }
+    }
+}
+
+fn write_seq<T>(
+    out: &mut String,
+    pretty: bool,
+    indent: usize,
+    open: char,
+    close: char,
+    items: impl ExactSizeIterator<Item = T>,
+    mut write_item: impl FnMut(T, &mut String, usize),
+) {
+    out.push(open);
+    let n = items.len();
+    if n == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if pretty {
+            out.push('\n');
+            out.push_str(&"  ".repeat(indent + 1));
+        }
+        write_item(item, out, indent + 1);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if pretty {
+        out.push('\n');
+        out.push_str(&"  ".repeat(indent));
+    }
+    out.push(close);
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serialization error (this minimal implementation never fails).
+#[derive(Clone, Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes compactly.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write(&mut out, false, 0);
+    Ok(out)
+}
+
+/// Serializes with two-space indentation.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write(&mut out, true, 0);
+    Ok(out)
+}
+
+/// Conversion into a [`Value`]; the `json!` macro calls this on every
+/// member expression, always through a reference so values are not moved.
+pub trait ToJson {
+    /// Converts `self` to a JSON value.
+    fn to_json(&self) -> Value;
+}
+
+/// Converts any [`ToJson`] reference to a [`Value`].
+pub fn to_value<T: ToJson + ?Sized>(v: &T) -> Value {
+    v.to_json()
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+macro_rules! impl_to_json_unsigned {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(Number::U64(u64::from(*self)))
+            }
+        }
+    )*};
+}
+
+impl_to_json_unsigned!(u8, u16, u32, u64);
+
+impl ToJson for usize {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::U64(*self as u64))
+    }
+}
+
+macro_rules! impl_to_json_signed {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(Number::I64(i64::from(*self)))
+            }
+        }
+    )*};
+}
+
+impl_to_json_signed!(i8, i16, i32, i64);
+
+impl ToJson for isize {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::I64(*self as i64))
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::F64(f64::from(*self)))
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+/// Builds a [`Value`] from flat JSON-ish syntax: `json!({"k": expr, ..})`,
+/// `json!([expr, ..])`, `json!(null)`, or `json!(expr)`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut members = ::std::collections::BTreeMap::new();
+        $( members.insert(($key).to_string(), $crate::to_value(&$value)); )*
+        $crate::Value::Object(members)
+    }};
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![$($crate::to_value(&$value)),*])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_keys_serialize_sorted() {
+        let v = json!({ "zulu": 1, "alpha": 2, "mike": 3 });
+        assert_eq!(to_string(&v).unwrap(), r#"{"alpha":2,"mike":3,"zulu":1}"#);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = json!({ "a": 1, "b": vec![json!(2), json!(3)] });
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "{\n  \"a\": 1,\n  \"b\": [\n    2,\n    3\n  ]\n}");
+    }
+
+    #[test]
+    fn conversions_cover_common_types() {
+        let label = String::from("x");
+        let opt_none: Option<f64> = None;
+        let v = json!({
+            "str": "lit",
+            "string": label,
+            "float": 1.5,
+            "neg": -4i64,
+            "count": 7usize,
+            "flag": true,
+            "missing": opt_none,
+            "some": Some(2u32),
+        });
+        assert_eq!(v.get("str").and_then(Value::as_str), Some("lit"));
+        assert_eq!(v.get("string").and_then(Value::as_str), Some("x"));
+        assert_eq!(v.get("float").and_then(Value::as_f64), Some(1.5));
+        assert_eq!(v.get("neg").and_then(Value::as_f64), Some(-4.0));
+        assert_eq!(v.get("count").and_then(Value::as_f64), Some(7.0));
+        assert_eq!(v.get("missing"), Some(&Value::Null));
+        assert_eq!(v.get("some").and_then(Value::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn values_do_not_move_out_of_references() {
+        struct Curve {
+            label: String,
+        }
+        let c = &Curve { label: "bh".into() };
+        // Field access through a reference must borrow, like serde_json's json!.
+        let v = json!({ "label": c.label });
+        assert_eq!(v.get("label").and_then(Value::as_str), Some("bh"));
+        assert_eq!(c.label, "bh");
+    }
+
+    #[test]
+    fn strings_escape_controls_and_quotes() {
+        let v = json!("a\"b\\c\nd\u{1}");
+        assert_eq!(to_string(&v).unwrap(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&json!(f64::NAN)).unwrap(), "null");
+        assert_eq!(to_string(&json!(f64::INFINITY)).unwrap(), "null");
+    }
+
+    #[test]
+    fn structural_equality_means_byte_equality() {
+        let a = json!({ "x": 0.1 + 0.2, "y": vec![json!(1u64)] });
+        let b = json!({ "y": vec![json!(1u64)], "x": 0.1 + 0.2 });
+        assert_eq!(a, b);
+        assert_eq!(to_string_pretty(&a).unwrap(), to_string_pretty(&b).unwrap());
+    }
+}
