@@ -3,8 +3,8 @@
 use hllc_compress::CompressorKind;
 use hllc_core::{HybridConfig, HybridLlc};
 use hllc_nvm::NvmArray;
-use hllc_sim::{Hierarchy, LlcPort, LlcStats, SystemConfig};
-use hllc_trace::{drive_cycles, Mix};
+use hllc_sim::{DataModel, Hierarchy, LlcPort, LlcStats, SystemConfig};
+use hllc_trace::{drive_cycles, Mix, RefSource};
 
 /// Inputs of a simulation phase.
 #[derive(Clone, Debug)]
@@ -72,24 +72,40 @@ pub fn run_phase(
     array: Option<NvmArray>,
     seed: u64,
 ) -> (PhaseMetrics, Option<NvmArray>) {
+    let mut streams = mix.instantiate(setup.scale, seed);
+    let data = mix.data_model_with(setup.compressor, seed);
+    run_phase_streams(setup, &mut streams, data, array)
+}
+
+/// [`run_phase`] over explicit reference streams and data model — the entry
+/// point trace replay uses: the same phase logic runs whether references
+/// come from synthetic generators or from a recorded file.
+///
+/// # Panics
+///
+/// Panics if `streams` is empty or has more streams than `setup.system`
+/// has cores.
+pub fn run_phase_streams<S: RefSource, D: DataModel>(
+    setup: &PhaseSetup,
+    streams: &mut [S],
+    data: D,
+    array: Option<NvmArray>,
+) -> (PhaseMetrics, Option<NvmArray>) {
+    assert!(
+        !streams.is_empty() && streams.len() <= setup.system.cores,
+        "stream count {} incompatible with {} cores",
+        streams.len(),
+        setup.system.cores
+    );
     let llc = match array {
         Some(a) => HybridLlc::with_array(&setup.llc, Some(a)),
         None => HybridLlc::new(&setup.llc),
     };
-    let mut h = Hierarchy::new(
-        &setup.system,
-        llc,
-        mix.data_model_with(setup.compressor, seed),
-    );
-    let mut streams = mix.instantiate(setup.scale, seed);
+    let mut h = Hierarchy::new(&setup.system, llc, data);
 
-    let warm = drive_cycles(&mut h, &mut streams, setup.warmup_cycles);
+    let warm = drive_cycles(&mut h, streams, setup.warmup_cycles);
     h.reset_stats();
-    let measured = drive_cycles(
-        &mut h,
-        &mut streams,
-        setup.warmup_cycles + setup.measure_cycles,
-    );
+    let measured = drive_cycles(&mut h, streams, setup.warmup_cycles + setup.measure_cycles);
 
     let ipc = h.system_ipc();
     let llc_stats = *h.llc().stats();

@@ -1,11 +1,14 @@
 //! The `policy × mix × seed × capacity` sweep behind `hllc sweep`.
 
+use std::sync::Arc;
+
 use hllc_compress::CompressorKind;
 use hllc_core::{HybridConfig, Policy};
-use hllc_forecast::{run_phase, PhaseSetup};
+use hllc_forecast::{run_phase, run_phase_streams, PhaseSetup};
 use hllc_nvm::NvmArray;
 use hllc_sim::SystemConfig;
 use hllc_trace::mixes;
+use hllc_traceio::{ReplayStream, TraceContent, TraceData};
 use serde_json::{json, Value};
 
 use crate::pool::run_indexed;
@@ -32,6 +35,10 @@ pub struct SweepSpec {
     pub measure_cycles: f64,
     /// Worker threads. Any value produces byte-identical reports.
     pub threads: usize,
+    /// Recorded trace replacing the synthetic mixes: every job replays
+    /// these reference streams (and recorded block sizes) instead of
+    /// instantiating `mixes()[mix]`. `mixes` then only labels the grid.
+    pub trace: Option<Arc<TraceContent>>,
 }
 
 impl SweepSpec {
@@ -127,7 +134,14 @@ fn run_job(
         compressor: CompressorKind::Bdi,
     };
     let array = degraded_array(&setup.llc, capacity, seed);
-    let (m, _) = run_phase(&setup, &mixes()[mix_index], array, seed);
+    let (m, _) = match &spec.trace {
+        Some(trace) => {
+            let mut streams = ReplayStream::per_core(trace);
+            let data = TraceData::from_content(trace);
+            run_phase_streams(&setup, &mut streams, data, array)
+        }
+        None => run_phase(&setup, &mixes()[mix_index], array, seed),
+    };
     JobResult {
         index,
         policy: label,
@@ -144,8 +158,10 @@ fn run_job(
 /// Runs the grid on `spec.threads` workers and returns the report. The
 /// report is a pure function of the spec minus its `threads` field.
 pub fn run_sweep(spec: &SweepSpec) -> SweepReport {
-    for &mix in &spec.mixes {
-        assert!(mix < mixes().len(), "mix index {mix} out of range");
+    if spec.trace.is_none() {
+        for &mix in &spec.mixes {
+            assert!(mix < mixes().len(), "mix index {mix} out of range");
+        }
     }
     let jobs = enumerate_jobs(spec);
     let results = run_indexed(jobs, spec.threads, |index, job| run_job(spec, index, job));
@@ -195,6 +211,7 @@ pub fn report_json(report: &SweepReport) -> Value {
         "mixes": spec.mixes.iter().map(|m| m + 1).collect::<Vec<_>>(),
         "seeds_per_cell": spec.seeds,
         "capacities": &spec.capacities,
+        "trace_workload": spec.trace.as_ref().map(|t| t.header.workload.clone()),
         "jobs": report.results.iter().map(|r| json!({
             "index": r.index,
             "policy": r.policy,
@@ -225,6 +242,7 @@ mod tests {
             warmup_cycles: 5_000.0,
             measure_cycles: 10_000.0,
             threads,
+            trace: None,
         }
     }
 
@@ -257,6 +275,58 @@ mod tests {
         let v = report_json(&report);
         assert_eq!(v.get("summary").and_then(Value::as_array).unwrap().len(), 4);
         assert_eq!(v.get("jobs").and_then(Value::as_array).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn trace_replay_sweep_is_deterministic_and_active() {
+        use hllc_sim::Access;
+        use hllc_traceio::TraceHeader;
+        let accesses: Vec<Access> = (0..40_000u64)
+            .map(|i| {
+                let core = (i % 2) as u8;
+                let addr = (((i / 2) % 512) << 6) | (u64::from(core) << 32);
+                Access::load(core, addr).with_gap((i % 7) as u32)
+            })
+            .collect();
+        let sizes: Vec<(u64, u8)> = accesses
+            .iter()
+            .map(|a| (a.addr >> 6, 24u8))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let content = Arc::new(TraceContent {
+            header: TraceHeader {
+                cores: 2,
+                mix: 0,
+                seed: 42,
+                sets: 64,
+                cycles: 10_000.0,
+                policy: "bh".into(),
+                workload: "synthetic fixture".into(),
+            },
+            accesses,
+            sizes,
+        });
+        let mut spec = tiny_spec(1);
+        spec.trace = Some(content);
+        let serial = run_sweep(&spec);
+        for r in &serial.results {
+            assert!(r.ipc > 0.0, "trace job {} idle", r.index);
+        }
+        spec.threads = 4;
+        let parallel = run_sweep(&spec);
+        let key = |rep: &SweepReport| -> Vec<(usize, u64, u64)> {
+            rep.results
+                .iter()
+                .map(|r| (r.index, r.ipc.to_bits(), r.nvm_bytes_written))
+                .collect()
+        };
+        assert_eq!(key(&serial), key(&parallel));
+        let v = report_json(&serial);
+        assert_eq!(
+            v.get("trace_workload").and_then(Value::as_str),
+            Some("synthetic fixture")
+        );
     }
 
     #[test]

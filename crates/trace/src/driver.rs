@@ -1,22 +1,41 @@
 //! Multi-core interleaving driver.
 //!
 //! Steps the core with the smallest local clock, pulling the next reference
-//! from its application stream — approximating the concurrent execution of
-//! the four programs of a mix on the shared LLC.
+//! from its reference source — approximating the concurrent execution of
+//! the four programs of a mix on the shared LLC. The drivers are generic
+//! over [`RefSource`], so the same interleaving logic runs synthetic
+//! generators ([`AppStream`]) and recorded traces (`hllc-traceio`'s
+//! `ReplayStream`) identically.
 
-use hllc_sim::{DataModel, Hierarchy, LlcPort};
+use hllc_sim::{Access, DataModel, Hierarchy, LlcPort};
 
 use crate::app::AppStream;
 
-/// Runs until every core's clock has reached `target_cycles`. Returns the
-/// number of references executed.
+/// A per-core supplier of memory references.
+///
+/// Synthetic streams are infinite and always return `Some`; finite sources
+/// (trace replay) return `None` when exhausted, which stops the driver.
+pub trait RefSource {
+    /// Produces the next reference of `core`'s stream, stamped with `core`,
+    /// or `None` when the source has no more references.
+    fn next_access(&mut self, core: u8) -> Option<Access>;
+}
+
+impl RefSource for AppStream {
+    fn next_access(&mut self, core: u8) -> Option<Access> {
+        Some(AppStream::next_access(self, core))
+    }
+}
+
+/// Runs until every core's clock has reached `target_cycles` or a source is
+/// exhausted. Returns the number of references executed.
 ///
 /// # Panics
 ///
 /// Panics if `streams` is empty.
-pub fn drive_cycles<L: LlcPort, D: DataModel>(
+pub fn drive_cycles<L: LlcPort, D: DataModel, S: RefSource>(
     h: &mut Hierarchy<L, D>,
-    streams: &mut [AppStream],
+    streams: &mut [S],
     target_cycles: f64,
 ) -> u64 {
     assert!(!streams.is_empty(), "need at least one stream");
@@ -26,24 +45,28 @@ pub fn drive_cycles<L: LlcPort, D: DataModel>(
         if h.core_clock(core) >= target_cycles {
             break;
         }
-        let a = streams[core].next_access(core as u8);
+        let Some(a) = streams[core].next_access(core as u8) else {
+            break;
+        };
         h.access(&a);
         executed += 1;
     }
     executed
 }
 
-/// Runs exactly `n` references, still interleaving by clock. Returns the
-/// final minimum core clock.
-pub fn drive_accesses<L: LlcPort, D: DataModel>(
+/// Runs exactly `n` references (fewer only if a source is exhausted), still
+/// interleaving by clock. Returns the final minimum core clock.
+pub fn drive_accesses<L: LlcPort, D: DataModel, S: RefSource>(
     h: &mut Hierarchy<L, D>,
-    streams: &mut [AppStream],
+    streams: &mut [S],
     n: u64,
 ) -> f64 {
     assert!(!streams.is_empty(), "need at least one stream");
     for _ in 0..n {
         let core = laggard(h, streams.len());
-        let a = streams[core].next_access(core as u8);
+        let Some(a) = streams[core].next_access(core as u8) else {
+            break;
+        };
         h.access(&a);
     }
     h.min_clock()
@@ -88,5 +111,31 @@ mod tests {
         // Interleaving keeps cores loosely in step (within one max stall).
         assert!(max - min < 5_000.0, "clocks diverged: {clocks:?}");
         assert!(h.stats().accesses() == 10_000);
+    }
+
+    #[test]
+    fn exhausted_source_stops_the_drivers() {
+        /// Yields `self.0` references, then runs dry.
+        struct Finite(u64);
+        impl RefSource for Finite {
+            fn next_access(&mut self, core: u8) -> Option<Access> {
+                if self.0 == 0 {
+                    return None;
+                }
+                self.0 -= 1;
+                Some(Access::load(core, (self.0 << 6) | (u64::from(core) << 40)))
+            }
+        }
+        let cfg = SystemConfig::scaled_down();
+        let mut h = Hierarchy::new(&cfg, NullLlc::default(), hllc_sim::ConstSizeData::new(64));
+        let mut streams = vec![Finite(50), Finite(50), Finite(50), Finite(50)];
+        let executed = drive_cycles(&mut h, &mut streams, f64::INFINITY);
+        assert!(executed <= 200);
+        assert!(h.stats().accesses() > 0);
+
+        let mut h2 = Hierarchy::new(&cfg, NullLlc::default(), hllc_sim::ConstSizeData::new(64));
+        let mut streams2 = vec![Finite(10)];
+        drive_accesses(&mut h2, &mut streams2, 1_000);
+        assert_eq!(h2.stats().accesses(), 10, "stops at exhaustion, no panic");
     }
 }

@@ -34,7 +34,7 @@ mod spec;
 
 pub use app::{AppSpec, AppStream, APP_SLOT_SHIFT};
 pub use data::WorkloadData;
-pub use driver::{drive_accesses, drive_cycles};
+pub use driver::{drive_accesses, drive_cycles, RefSource};
 pub use mix::{mixes, Mix};
 pub use pattern::Pattern;
 pub use profile::{Profile, SynthClass};

@@ -7,17 +7,26 @@
 //! hllc forecast --policy bh    --mix 1   age the NVM part to 50% capacity
 //! hllc compare  --mix 1 --jobs 4         all policies side by side, in parallel
 //! hllc sweep    --policies bh,cp_sd --mixes 1,2 --seeds 2 --jobs 4 --json out.json
+//! hllc record   --mix 1 --out m1.trc     capture a live run into a trace file
+//! hllc replay   --trace m1.trc           rerun a trace file (bit-identical)
+//! hllc trace-info m1.trc                 inspect and verify a trace file
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use hybrid_llc::cli::{parse_args, parse_sweep_args, Args, SweepArgs};
+use hybrid_llc::cli::{
+    parse_args, parse_policy, parse_record_args, parse_replay_args, parse_sweep_args,
+    parse_trace_info_args, Args, RecordArgs, ReplayArgs, SweepArgs,
+};
 use hybrid_llc::forecast::{Forecast, ForecastConfig};
-use hybrid_llc::llc::{HybridConfig, HybridLlc};
 use hybrid_llc::runner::{report_json, run_indexed, run_sweep, SweepSpec};
-use hybrid_llc::sim::{EnergyModel, Hierarchy, SystemConfig};
-use hybrid_llc::trace::{drive_cycles, mixes};
-use hybrid_llc::LlcPort;
+use hybrid_llc::session::{
+    live_session, record_session, recording_header, replay_session, stats_json, SessionStats,
+};
+use hybrid_llc::sim::{EnergyModel, Op, SystemConfig};
+use hybrid_llc::trace::mixes;
+use hybrid_llc::traceio::{create_trace, load_trace, open_trace, Chunk, TraceContent, VERSION};
 
 fn cmd_policies() {
     println!("available insertion policies (Table III):");
@@ -47,29 +56,10 @@ fn cmd_mixes() {
     }
 }
 
-fn cmd_run(args: &Args) {
-    let system = SystemConfig::scaled_down();
-    let mix = &mixes()[args.mix];
-    println!(
-        "running {} under {} for {:.1}M cycles...",
-        mix.name,
-        args.policy.name(),
-        args.cycles / 1e6
-    );
-
-    let llc_cfg = HybridConfig::from_geometry(system.llc, args.policy)
-        .with_endurance(1e8, 0.2)
-        .with_epoch_cycles(100_000)
-        .with_dueling_smoothing(0.6);
-    let mut h = Hierarchy::new(&system, HybridLlc::new(&llc_cfg), mix.data_model(args.seed));
-    let mut streams = mix.instantiate(system.llc.sets as f64 / 4096.0, args.seed);
-    drive_cycles(&mut h, &mut streams, 0.2 * args.cycles);
-    h.reset_stats();
-    drive_cycles(&mut h, &mut streams, 1.2 * args.cycles);
-
-    let s = *h.llc().stats();
-    let energy = EnergyModel::default_16nm().breakdown(&s, args.cycles, system.timing.freq_ghz);
-    println!("  system IPC        {:.3}", h.system_ipc());
+fn print_stats(stats: &SessionStats, cycles: f64, system: &SystemConfig) {
+    let s = stats.llc;
+    let energy = EnergyModel::default_16nm().breakdown(&s, cycles, system.timing.freq_ghz);
+    println!("  system IPC        {:.3}", stats.ipc);
     println!(
         "  LLC hit rate      {:.1}% ({} of {} requests)",
         100.0 * s.hit_rate(),
@@ -83,12 +73,157 @@ fn cmd_run(args: &Args) {
     );
     println!("  NVM bytes written {}", s.nvm_bytes_written);
     println!("  LLC energy        {:.2} mJ", energy.total_mj());
-    if let Some(d) = h.llc().dueling() {
-        println!("  Set Dueling CP_th {}", d.current_cp_th());
+    if let Some(th) = stats.cp_th {
+        println!("  Set Dueling CP_th {th}");
     }
 }
 
-fn cmd_forecast(args: &Args) {
+/// Writes session stats JSON to `path` when given (the CI round-trip check
+/// diffs these files between a recorded live run and its replay).
+fn write_stats_json(
+    path: Option<&str>,
+    policy: &str,
+    workload: &str,
+    stats: &SessionStats,
+) -> Result<(), String> {
+    let Some(path) = path else { return Ok(()) };
+    let text = serde_json::to_string_pretty(&stats_json(policy, workload, stats))
+        .map_err(|e| format!("serializing stats: {e}"))?;
+    std::fs::write(path, text + "\n").map_err(|e| format!("writing {path}: {e}"))?;
+    println!("stats written to {path}");
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let system = SystemConfig::scaled_down();
+    let stats = match &args.trace {
+        Some(path) => {
+            let content = load_trace(path).map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "replaying {} ({} accesses, recorded under {}) with {} for {:.1}M cycles...",
+                path,
+                content.accesses.len(),
+                content.header.policy,
+                args.policy.name(),
+                args.cycles / 1e6
+            );
+            replay_session(&content, args.policy, Some(args.cycles))?
+        }
+        None => {
+            let mix = &mixes()[args.mix];
+            println!(
+                "running {} under {} for {:.1}M cycles...",
+                mix.name,
+                args.policy.name(),
+                args.cycles / 1e6
+            );
+            live_session(args, system.cores)
+        }
+    };
+    print_stats(&stats, args.cycles, &system);
+    Ok(())
+}
+
+fn cmd_record(args: &RecordArgs) -> Result<(), String> {
+    let header = recording_header(&args.run, args.cores);
+    let writer = create_trace(&args.out, &header).map_err(|e| format!("{}: {e}", args.out))?;
+    println!(
+        "recording {} under {} for {:.1}M cycles on {} cores -> {} ...",
+        header.workload,
+        header.policy,
+        args.run.cycles / 1e6,
+        header.cores,
+        args.out
+    );
+    let (stats, _) = record_session(&args.run, args.cores, writer)?;
+    print_stats(&stats, args.run.cycles, &SystemConfig::scaled_down());
+    write_stats_json(
+        args.json.as_deref(),
+        &header.policy,
+        &header.workload,
+        &stats,
+    )?;
+    println!("trace written to {}", args.out);
+    Ok(())
+}
+
+fn cmd_replay(args: &ReplayArgs) -> Result<(), String> {
+    let content = load_trace(&args.trace).map_err(|e| format!("{}: {e}", args.trace))?;
+    let policy = match args.policy {
+        Some(p) => p,
+        None => parse_policy(&content.header.policy).ok_or_else(|| {
+            format!(
+                "cannot reconstruct recorded policy '{}'; pass --policy",
+                content.header.policy
+            )
+        })?,
+    };
+    let cycles = args.cycles.unwrap_or(content.header.cycles);
+    println!(
+        "replaying {} ({} cores, {} accesses, {} block sizes) under {} for {:.1}M cycles...",
+        args.trace,
+        content.header.cores,
+        content.accesses.len(),
+        content.sizes.len(),
+        policy.name(),
+        cycles / 1e6
+    );
+    let stats = replay_session(&content, policy, args.cycles)?;
+    print_stats(&stats, cycles, &SystemConfig::scaled_down());
+    write_stats_json(
+        args.json.as_deref(),
+        &policy.name(),
+        &content.header.workload,
+        &stats,
+    )
+}
+
+fn cmd_trace_info(path: &str) -> Result<(), String> {
+    let mut reader = open_trace(path).map_err(|e| format!("{path}: {e}"))?;
+    let h = reader.header().clone();
+    println!("{path}:");
+    println!("  format        HLLCTRC v{VERSION}");
+    println!("  cores         {}", h.cores);
+    println!("  workload      {} (mix {})", h.workload, h.mix);
+    println!("  policy        {}", h.policy);
+    println!("  seed          {}", h.seed);
+    println!("  llc sets      {}", h.sets);
+    println!("  cycle budget  {:.1}M", h.cycles / 1e6);
+    let mut chunks = 0u64;
+    let mut sizes = 0u64;
+    let mut stores = 0u64;
+    let mut per_core = vec![0u64; usize::from(h.cores)];
+    loop {
+        match reader.next_chunk() {
+            Ok(None) => break,
+            Ok(Some(Chunk::Accesses(v))) => {
+                chunks += 1;
+                for a in &v {
+                    per_core[usize::from(a.core)] += 1;
+                    stores += u64::from(a.op == Op::Store);
+                }
+            }
+            Ok(Some(Chunk::Sizes(v))) => {
+                chunks += 1;
+                sizes += v.len() as u64;
+            }
+            Err(e) => return Err(format!("{path}: {e}")),
+        }
+    }
+    let accesses: u64 = per_core.iter().sum();
+    println!("  chunks        {chunks}");
+    println!("  accesses      {accesses} ({stores} stores)");
+    for (core, n) in per_core.iter().enumerate() {
+        println!("    core {core}      {n}");
+    }
+    println!("  block sizes   {sizes}");
+    Ok(())
+}
+
+fn cmd_forecast(args: &Args) -> Result<(), String> {
+    if args.trace.is_some() {
+        return Err("forecast alternates synthetic phases; --trace is not supported".into());
+    }
     let mix = &mixes()[args.mix];
     println!(
         "forecasting {} under {} (scaled mu=1e8; multiply times by 100 for paper scale)...",
@@ -109,14 +244,32 @@ fn cmd_forecast(args: &Args) {
         Some(s) => println!("=> 50% capacity after {:.2} scaled hours", s / 3600.0),
         None => println!("=> never reached 50% capacity (SRAM-only or idle NVM)"),
     }
+    Ok(())
 }
 
-fn cmd_compare(args: &Args) {
-    use hybrid_llc::cli::parse_policy;
-    let mix = &mixes()[args.mix];
+/// Loads (and core-count-validates) the trace named by a `--trace` flag.
+fn load_trace_arg(trace: &Option<String>) -> Result<Option<Arc<TraceContent>>, String> {
+    let Some(path) = trace else { return Ok(None) };
+    let content = load_trace(path).map_err(|e| format!("{path}: {e}"))?;
+    let cores = usize::from(content.header.cores);
+    let system_cores = SystemConfig::scaled_down().cores;
+    if cores > system_cores {
+        return Err(format!(
+            "{path}: trace has {cores} cores but the system only has {system_cores}"
+        ));
+    }
+    Ok(Some(Arc::new(content)))
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let trace = load_trace_arg(&args.trace)?;
+    let workload = match (&trace, &args.trace) {
+        (Some(content), Some(path)) => format!("{} (trace {path})", content.header.workload),
+        _ => mixes()[args.mix].name.to_string(),
+    };
     println!(
         "comparing all policies on {} ({:.1}M cycles each)...\n",
-        mix.name,
+        workload,
         args.cycles / 1e6
     );
     println!(
@@ -140,32 +293,40 @@ fn cmd_compare(args: &Args) {
     .collect();
     let rows = run_indexed(policies, args.jobs, |_, policy| {
         let system = SystemConfig::scaled_down();
-        let llc_cfg = HybridConfig::from_geometry(system.llc, policy)
-            .with_endurance(1e8, 0.2)
-            .with_epoch_cycles(100_000)
-            .with_dueling_smoothing(0.6);
-        let mut h = Hierarchy::new(&system, HybridLlc::new(&llc_cfg), mix.data_model(args.seed));
-        let mut streams = mix.instantiate(system.llc.sets as f64 / 4096.0, args.seed);
-        drive_cycles(&mut h, &mut streams, 0.2 * args.cycles);
-        h.reset_stats();
-        drive_cycles(&mut h, &mut streams, 1.2 * args.cycles);
-        let s = *h.llc().stats();
-        let e = EnergyModel::default_16nm().breakdown(&s, args.cycles, system.timing.freq_ghz);
+        let stats = match &trace {
+            Some(content) => replay_session(content, policy, Some(args.cycles))
+                .expect("trace core count validated before dispatch"),
+            None => {
+                let mut job_args = args.clone();
+                job_args.policy = policy;
+                live_session(&job_args, system.cores)
+            }
+        };
+        let e =
+            EnergyModel::default_16nm().breakdown(&stats.llc, args.cycles, system.timing.freq_ghz);
         format!(
             "{:<12} {:>8.3} {:>9.1}% {:>14} {:>12.2}",
             policy.name(),
-            h.system_ipc(),
-            100.0 * s.hit_rate(),
-            s.nvm_bytes_written,
+            stats.ipc,
+            100.0 * stats.llc.hit_rate(),
+            stats.llc.nvm_bytes_written,
             e.total_mj()
         )
     });
     for row in rows {
         println!("{row}");
     }
+    Ok(())
 }
 
 fn cmd_sweep(args: &SweepArgs) -> Result<(), String> {
+    let trace = load_trace_arg(&args.trace)?;
+    if let (Some(content), Some(path)) = (&trace, &args.trace) {
+        println!(
+            "replaying trace {path} ({} accesses) in every job; mixes only label the grid",
+            content.accesses.len()
+        );
+    }
     let spec = SweepSpec {
         policies: args.policies.clone(),
         mixes: args.mixes.clone(),
@@ -176,6 +337,7 @@ fn cmd_sweep(args: &SweepArgs) -> Result<(), String> {
         warmup_cycles: 0.2 * args.cycles,
         measure_cycles: args.cycles,
         threads: args.jobs,
+        trace,
     };
     println!(
         "sweeping {} policies x {} capacities x {} mixes x {} seeds = {} jobs on {} threads...",
@@ -252,10 +414,13 @@ fn cmd_figures() {
 
 fn usage() {
     println!(
-        "usage: hllc <policies|mixes|figures|run|forecast|compare|sweep> \
-        [--policy P] [--mix 1..10] [--cycles N] [--seed S] [--jobs N]\n\
+        "usage: hllc <policies|mixes|figures|run|forecast|compare|sweep|record|replay|trace-info> \
+        [--policy P] [--mix 1..10] [--cycles N] [--seed S] [--jobs N] [--trace f.trc]\n\
         \x20      hllc sweep [--policies a,b] [--mixes 1,2] [--seeds K] [--capacities 1.0,0.7] \
-        [--sets N] [--json out.json]"
+        [--sets N] [--json out.json] [--trace f.trc]\n\
+        \x20      hllc record --out f.trc [--cores N] [--json stats.json] [run flags]\n\
+        \x20      hllc replay --trace f.trc [--policy P] [--cycles N] [--json stats.json]\n\
+        \x20      hllc trace-info f.trc"
     );
 }
 
@@ -265,34 +430,40 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::FAILURE;
     };
-    match cmd.as_str() {
-        "policies" => cmd_policies(),
-        "mixes" => cmd_mixes(),
-        "figures" => cmd_figures(),
-        "run" | "forecast" | "compare" => match parse_args(&argv[1..]) {
-            Ok(args) if cmd == "run" => cmd_run(&args),
-            Ok(args) if cmd == "compare" => cmd_compare(&args),
-            Ok(args) => cmd_forecast(&args),
-            Err(e) => {
-                eprintln!("error: {e}");
-                usage();
-                return ExitCode::FAILURE;
-            }
-        },
-        "sweep" => match parse_sweep_args(&argv[1..]).and_then(|args| cmd_sweep(&args)) {
-            Ok(()) => {}
-            Err(e) => {
-                eprintln!("error: {e}");
-                usage();
-                return ExitCode::FAILURE;
-            }
-        },
-        "-h" | "--help" | "help" => usage(),
-        other => {
-            eprintln!("error: unknown command '{other}'");
-            usage();
-            return ExitCode::FAILURE;
+    let outcome = match cmd.as_str() {
+        "policies" => {
+            cmd_policies();
+            Ok(())
         }
+        "mixes" => {
+            cmd_mixes();
+            Ok(())
+        }
+        "figures" => {
+            cmd_figures();
+            Ok(())
+        }
+        "run" | "forecast" | "compare" => {
+            parse_args(&argv[1..]).and_then(|args| match cmd.as_str() {
+                "run" => cmd_run(&args),
+                "compare" => cmd_compare(&args),
+                _ => cmd_forecast(&args),
+            })
+        }
+        "sweep" => parse_sweep_args(&argv[1..]).and_then(|args| cmd_sweep(&args)),
+        "record" => parse_record_args(&argv[1..]).and_then(|args| cmd_record(&args)),
+        "replay" => parse_replay_args(&argv[1..]).and_then(|args| cmd_replay(&args)),
+        "trace-info" => parse_trace_info_args(&argv[1..]).and_then(|path| cmd_trace_info(&path)),
+        "-h" | "--help" | "help" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    if let Err(e) = outcome {
+        eprintln!("error: {e}");
+        usage();
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -4,15 +4,24 @@
 use hllc_core::Policy;
 
 /// Parses a policy flag value into a [`Policy`] (Table III aliases).
+///
+/// `cp_sd_th<N>` takes any positive percentage `N` (e.g. `cp_sd_th2`,
+/// `cp_sd_th16`, `cp_sd_th0.5`), not just the paper's 4 and 8.
 pub fn parse_policy(name: &str) -> Option<Policy> {
-    match name.to_ascii_lowercase().as_str() {
+    let name = name.to_ascii_lowercase();
+    if let Some(th) = name.strip_prefix("cp_sd_th") {
+        let th: f64 = th.parse().ok()?;
+        if !th.is_finite() || th <= 0.0 || th > 100.0 {
+            return None;
+        }
+        return Some(Policy::cp_sd_th(th));
+    }
+    match name.as_str() {
         "bh" => Some(Policy::Bh),
         "bh_cp" | "bhcp" => Some(Policy::BhCp),
         "ca" => Some(Policy::Ca { cp_th: 58 }),
         "ca_rwr" | "carwr" => Some(Policy::CaRwr { cp_th: 58 }),
         "cp_sd" | "cpsd" => Some(Policy::cp_sd()),
-        "cp_sd_th4" => Some(Policy::cp_sd_th(4.0)),
-        "cp_sd_th8" => Some(Policy::cp_sd_th(8.0)),
         "lhybrid" => Some(Policy::LHybrid),
         "tap" => Some(Policy::tap()),
         _ => None,
@@ -32,6 +41,8 @@ pub struct Args {
     pub seed: u64,
     /// Worker threads (`compare` only; results are independent of it).
     pub jobs: usize,
+    /// Trace file replacing the synthetic mix (`run`/`compare` only).
+    pub trace: Option<String>,
 }
 
 /// Parses the flags of `hllc run|forecast|compare`.
@@ -42,6 +53,7 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
         cycles: 2.0e6,
         seed: 42,
         jobs: hllc_runner::default_threads(),
+        trace: None,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -74,6 +86,7 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--jobs" => {
                 args.jobs = parse_jobs(value()?)?;
             }
+            "--trace" => args.trace = Some(value()?.clone()),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -101,6 +114,8 @@ pub struct SweepArgs {
     pub sets: usize,
     /// Where to write the JSON report, if anywhere.
     pub json: Option<String>,
+    /// Trace file replacing the synthetic mixes.
+    pub trace: Option<String>,
 }
 
 /// Parses the flags of `hllc sweep`.
@@ -115,6 +130,7 @@ pub fn parse_sweep_args(argv: &[String]) -> Result<SweepArgs, String> {
         seed: 42,
         sets: 512,
         json: None,
+        trace: None,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -161,6 +177,7 @@ pub fn parse_sweep_args(argv: &[String]) -> Result<SweepArgs, String> {
                     .ok_or_else(|| "--sets expects an integer >= 1".to_string())?;
             }
             "--json" => args.json = Some(value()?.clone()),
+            "--trace" => args.trace = Some(value()?.clone()),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -172,6 +189,114 @@ fn parse_jobs(v: &str) -> Result<usize, String> {
         .ok()
         .filter(|&n: &usize| n >= 1)
         .ok_or_else(|| "--jobs expects an integer >= 1".to_string())
+}
+
+/// Arguments of `hllc record`.
+#[derive(Clone, Debug)]
+pub struct RecordArgs {
+    /// The live run to capture (policy, mix, cycles, seed).
+    pub run: Args,
+    /// Cores to record — the first N streams of the mix.
+    pub cores: usize,
+    /// Trace file to write.
+    pub out: String,
+    /// Where to write the live run's stats JSON, if anywhere.
+    pub json: Option<String>,
+}
+
+/// Parses the flags of `hllc record`: the `run` flags plus `--cores N`,
+/// a required `--out <file>`, and an optional `--json <file>`.
+pub fn parse_record_args(argv: &[String]) -> Result<RecordArgs, String> {
+    let mut cores = 4usize;
+    let mut out: Option<String> = None;
+    let mut json: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--cores" => {
+                cores = it
+                    .next()
+                    .ok_or_else(|| "--cores needs a value".to_string())?
+                    .parse()
+                    .ok()
+                    .filter(|&c: &usize| (1..=8).contains(&c))
+                    .ok_or_else(|| "--cores expects 1..8".to_string())?;
+            }
+            "--out" => out = Some(it.next().ok_or("--out needs a value")?.clone()),
+            "--json" => json = Some(it.next().ok_or("--json needs a value")?.clone()),
+            _ => rest.push(flag.clone()),
+        }
+    }
+    let run = parse_args(&rest)?;
+    if run.trace.is_some() {
+        return Err("record captures a live run; it does not take --trace".into());
+    }
+    Ok(RecordArgs {
+        run,
+        cores,
+        out: out.ok_or_else(|| "record requires --out <file>".to_string())?,
+        json,
+    })
+}
+
+/// Arguments of `hllc replay`.
+#[derive(Clone, Debug)]
+pub struct ReplayArgs {
+    /// Trace file to replay.
+    pub trace: String,
+    /// Policy override; `None` replays under the recorded policy.
+    pub policy: Option<Policy>,
+    /// Cycle-budget override; `None` uses the recording's budget.
+    pub cycles: Option<f64>,
+    /// Where to write the replay's stats JSON, if anywhere.
+    pub json: Option<String>,
+}
+
+/// Parses the flags of `hllc replay`: a required `--trace <file>` plus
+/// optional `--policy`, `--cycles`, and `--json` overrides.
+pub fn parse_replay_args(argv: &[String]) -> Result<ReplayArgs, String> {
+    let mut trace: Option<String> = None;
+    let mut policy: Option<Policy> = None;
+    let mut cycles: Option<f64> = None;
+    let mut json: Option<String> = None;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--trace" => trace = Some(value()?.clone()),
+            "--policy" => {
+                let v = value()?;
+                policy = Some(
+                    parse_policy(v)
+                        .ok_or_else(|| format!("unknown policy '{v}' (try `hllc policies`)"))?,
+                );
+            }
+            "--cycles" => {
+                cycles = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| "--cycles expects a number".to_string())?,
+                );
+            }
+            "--json" => json = Some(value()?.clone()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(ReplayArgs {
+        trace: trace.ok_or_else(|| "replay requires --trace <file>".to_string())?,
+        policy,
+        cycles,
+        json,
+    })
+}
+
+/// Parses `hllc trace-info <file>`: exactly one path.
+pub fn parse_trace_info_args(argv: &[String]) -> Result<String, String> {
+    match argv {
+        [path] if !path.starts_with("--") => Ok(path.clone()),
+        _ => Err("trace-info expects exactly one trace file".into()),
+    }
 }
 
 /// Parses a comma-separated policy list, keeping the flag spelling as label.
@@ -244,6 +369,32 @@ mod tests {
     }
 
     #[test]
+    fn cp_sd_th_accepts_any_threshold() {
+        assert_eq!(parse_policy("cp_sd_th4"), Some(Policy::cp_sd_th(4.0)));
+        assert_eq!(parse_policy("cp_sd_th8"), Some(Policy::cp_sd_th(8.0)));
+        assert_eq!(parse_policy("cp_sd_th2"), Some(Policy::cp_sd_th(2.0)));
+        assert_eq!(parse_policy("cp_sd_th16"), Some(Policy::cp_sd_th(16.0)));
+        assert_eq!(parse_policy("CP_SD_TH0.5"), Some(Policy::cp_sd_th(0.5)));
+    }
+
+    #[test]
+    fn cp_sd_th_rejects_malformed_thresholds() {
+        for bad in [
+            "cp_sd_th",
+            "cp_sd_thx",
+            "cp_sd_th-1",
+            "cp_sd_th0",
+            "cp_sd_th101",
+            "cp_sd_thnan",
+            "cp_sd_thinf",
+            "cp_sd_th1e999",
+            "cp_sd_th4%",
+        ] {
+            assert!(parse_policy(bad).is_none(), "'{bad}' accepted");
+        }
+    }
+
+    #[test]
     fn alias_pairs_agree() {
         assert_eq!(parse_policy("bh_cp"), parse_policy("bhcp"));
         assert_eq!(parse_policy("ca_rwr"), parse_policy("carwr"));
@@ -311,6 +462,79 @@ mod tests {
         assert!(parse_sweep_args(&argv("--capacities 1.5")).is_err());
         assert!(parse_sweep_args(&argv("--capacities 0")).is_err());
         assert!(parse_sweep_args(&argv("--json")).is_err());
+    }
+
+    #[test]
+    fn zero_jobs_are_rejected_everywhere() {
+        let e = parse_args(&argv("--jobs 0")).unwrap_err();
+        assert!(e.contains(">= 1"), "unclear error: {e}");
+        let e = parse_sweep_args(&argv("--jobs 0")).unwrap_err();
+        assert!(e.contains(">= 1"), "unclear error: {e}");
+        assert!(parse_args(&argv("--jobs -1")).is_err());
+        assert!(parse_sweep_args(&argv("--jobs many")).is_err());
+        assert!(parse_args(&argv("--jobs 1")).is_ok());
+        assert!(parse_sweep_args(&argv("--jobs 1")).is_ok());
+    }
+
+    #[test]
+    fn parse_record_args_reads_run_flags_and_its_own() {
+        let a = parse_record_args(&argv(
+            "--policy bh --mix 2 --cycles 1e5 --seed 3 --cores 2 --out t.trc --json s.json",
+        ))
+        .unwrap();
+        assert_eq!(a.run.policy, Policy::Bh);
+        assert_eq!(a.run.mix, 1);
+        assert_eq!(a.run.cycles, 1.0e5);
+        assert_eq!(a.run.seed, 3);
+        assert_eq!(a.cores, 2);
+        assert_eq!(a.out, "t.trc");
+        assert_eq!(a.json.as_deref(), Some("s.json"));
+    }
+
+    #[test]
+    fn parse_record_args_requires_out_and_sane_cores() {
+        assert!(parse_record_args(&argv("--cores 2")).is_err());
+        assert!(parse_record_args(&argv("--out t.trc --cores 0")).is_err());
+        assert!(parse_record_args(&argv("--out t.trc --cores 9")).is_err());
+        assert!(parse_record_args(&argv("--out t.trc --trace x.trc")).is_err());
+        assert!(parse_record_args(&argv("--out t.trc")).is_ok());
+    }
+
+    #[test]
+    fn parse_replay_args_reads_overrides() {
+        let a = parse_replay_args(&argv(
+            "--trace t.trc --policy tap --cycles 5e4 --json r.json",
+        ))
+        .unwrap();
+        assert_eq!(a.trace, "t.trc");
+        assert_eq!(a.policy, Some(Policy::tap()));
+        assert_eq!(a.cycles, Some(5.0e4));
+        assert_eq!(a.json.as_deref(), Some("r.json"));
+        let d = parse_replay_args(&argv("--trace t.trc")).unwrap();
+        assert!(d.policy.is_none() && d.cycles.is_none() && d.json.is_none());
+    }
+
+    #[test]
+    fn parse_replay_args_rejects_bad_flags() {
+        assert!(parse_replay_args(&argv("--policy bh")).is_err(), "no trace");
+        assert!(parse_replay_args(&argv("--trace t.trc --policy nope")).is_err());
+        assert!(parse_replay_args(&argv("--trace t.trc --frobnicate 1")).is_err());
+    }
+
+    #[test]
+    fn parse_trace_info_args_wants_one_path() {
+        assert_eq!(parse_trace_info_args(&argv("t.trc")).unwrap(), "t.trc");
+        assert!(parse_trace_info_args(&argv("")).is_err());
+        assert!(parse_trace_info_args(&argv("a b")).is_err());
+        assert!(parse_trace_info_args(&argv("--trace")).is_err());
+    }
+
+    #[test]
+    fn run_and_sweep_accept_a_trace_flag() {
+        let a = parse_args(&argv("--trace t.trc")).unwrap();
+        assert_eq!(a.trace.as_deref(), Some("t.trc"));
+        let s = parse_sweep_args(&argv("--trace t.trc")).unwrap();
+        assert_eq!(s.trace.as_deref(), Some("t.trc"));
     }
 
     #[test]

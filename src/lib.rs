@@ -20,6 +20,7 @@
 //! | [`sim`] | `hllc-sim` | private L1/L2 hierarchy, coherence, timing |
 //! | [`llc`] | `hllc-core` | the hybrid LLC and every insertion policy |
 //! | [`trace`] | `hllc-trace` | synthetic SPEC-like workloads and mixes |
+//! | [`traceio`] | `hllc-traceio` | binary trace capture and replay |
 //! | [`forecast`] | `hllc-forecast` | the aging forecast procedure |
 //! | [`runner`] | `hllc-runner` | deterministic parallel experiment runner |
 //!
@@ -59,8 +60,10 @@ pub use hllc_nvm as nvm;
 pub use hllc_runner as runner;
 pub use hllc_sim as sim;
 pub use hllc_trace as trace;
+pub use hllc_traceio as traceio;
 
 pub mod cli;
+pub mod session;
 
 // The types nearly every user touches, re-exported at the crate root.
 pub use hllc_core::{HybridConfig, HybridLlc, Policy};

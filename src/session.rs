@@ -1,0 +1,240 @@
+//! One simulation session shared by `run`, `record`, `replay`, and
+//! `compare`.
+//!
+//! All four commands execute the same recipe — scaled-down system, 20%
+//! warm-up, statistics reset, then the measured window — and differ only in
+//! where references and block sizes come from: a synthetic mix, a tapped
+//! mix being recorded, or a trace file being replayed. Keeping the recipe
+//! in one function is what makes record/replay round trips byte-comparable:
+//! the round-trip tests diff [`stats_json`] output of a live run against a
+//! replay of its recording.
+
+use serde_json::{json, Value};
+
+use crate::cli::Args;
+use crate::llc::{HybridConfig, HybridLlc, Policy};
+use crate::sim::{DataModel, Hierarchy, HierarchyStats, LlcPort, LlcStats, SystemConfig};
+use crate::trace::{drive_cycles, mixes, RefSource};
+use crate::traceio::{Recorder, ReplayStream, TraceContent, TraceData, TraceHeader};
+
+/// The measurements of one session: the live `run` printout and the
+/// record/replay comparison payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionStats {
+    /// Arithmetic-mean IPC across the system's cores.
+    pub ipc: f64,
+    /// References executed in the measured window.
+    pub accesses: u64,
+    /// LLC statistics over the measured window.
+    pub llc: LlcStats,
+    /// Full hierarchy counters over the measured window — included so the
+    /// round-trip tests compare every counter, not just the LLC's.
+    pub hierarchy: HierarchyStats,
+    /// Final Set Dueling CP_th (`None` for non-dueling policies).
+    pub cp_th: Option<u8>,
+}
+
+/// The paper's LLC configuration over `geometry`, shared by every
+/// single-phase command.
+pub fn llc_config(geometry: crate::sim::LlcGeometry, policy: Policy) -> HybridConfig {
+    HybridConfig::from_geometry(geometry, policy)
+        .with_endurance(1e8, 0.2)
+        .with_epoch_cycles(100_000)
+        .with_dueling_smoothing(0.6)
+}
+
+/// Runs the shared recipe over arbitrary reference sources: 20% of
+/// `cycles` warm-up, statistics reset, then a `1.2 * cycles` measured
+/// window.
+pub fn run_session<S: RefSource, D: DataModel>(
+    system: &SystemConfig,
+    policy: Policy,
+    cycles: f64,
+    streams: &mut [S],
+    data: D,
+) -> SessionStats {
+    let llc = HybridLlc::new(&llc_config(system.llc, policy));
+    let mut h = Hierarchy::new(system, llc, data);
+    drive_cycles(&mut h, streams, 0.2 * cycles);
+    h.reset_stats();
+    let accesses = drive_cycles(&mut h, streams, 1.2 * cycles);
+    SessionStats {
+        ipc: h.system_ipc(),
+        accesses,
+        llc: *h.llc().stats(),
+        hierarchy: h.stats().clone(),
+        cp_th: h.llc().dueling().map(|d| d.current_cp_th()),
+    }
+}
+
+/// Runs `args` live from the synthetic mix on the first `cores` of the
+/// scaled-down system.
+pub fn live_session(args: &Args, cores: usize) -> SessionStats {
+    let system = SystemConfig::scaled_down();
+    let mix = &mixes()[args.mix];
+    let mut streams = mix.instantiate(system.llc.sets as f64 / 4096.0, args.seed);
+    streams.truncate(cores.clamp(1, system.cores));
+    run_session(
+        &system,
+        args.policy,
+        args.cycles,
+        &mut streams,
+        mix.data_model(args.seed),
+    )
+}
+
+/// Runs `args` live while capturing every reference and block size into
+/// `writer`'s sink. The tap never perturbs the run, so the returned stats
+/// equal [`live_session`]'s for the same arguments.
+pub fn record_session<W: std::io::Write>(
+    args: &Args,
+    cores: usize,
+    writer: crate::traceio::TraceWriter<W>,
+) -> Result<(SessionStats, W), String> {
+    let system = SystemConfig::scaled_down();
+    let cores = cores.clamp(1, system.cores);
+    let mix = &mixes()[args.mix];
+    let recorder = Recorder::new(writer);
+    let mut streams: Vec<_> = mix
+        .instantiate(system.llc.sets as f64 / 4096.0, args.seed)
+        .into_iter()
+        .take(cores)
+        .map(|s| recorder.stream(s))
+        .collect();
+    let data = recorder.data(mix.data_model(args.seed));
+    let stats = run_session(&system, args.policy, args.cycles, &mut streams, data);
+    drop(streams);
+    let mut sink = recorder.finish().map_err(|e| e.to_string())?;
+    sink.flush()
+        .map_err(|e| format!("flushing trace sink: {e}"))?;
+    Ok((stats, sink))
+}
+
+/// The header a recording of `args` carries.
+pub fn recording_header(args: &Args, cores: usize) -> TraceHeader {
+    let system = SystemConfig::scaled_down();
+    TraceHeader {
+        cores: cores.clamp(1, system.cores) as u8,
+        mix: (args.mix + 1) as u8,
+        seed: args.seed,
+        sets: system.llc.sets as u32,
+        cycles: args.cycles,
+        policy: args.policy.name().to_string(),
+        workload: mixes()[args.mix].name.to_string(),
+    }
+}
+
+/// Replays a loaded trace under `policy` for `cycles` (the recording's own
+/// budget when `None`). Under the recorded policy and cycle budget the
+/// result is bit-identical to the recorded live run.
+pub fn replay_session(
+    content: &TraceContent,
+    policy: Policy,
+    cycles: Option<f64>,
+) -> Result<SessionStats, String> {
+    let mut system = SystemConfig::scaled_down();
+    let cores = usize::from(content.header.cores);
+    if cores > system.cores {
+        return Err(format!(
+            "trace has {cores} cores but the system only has {}",
+            system.cores
+        ));
+    }
+    system.llc.sets = content.header.sets as usize;
+    let mut streams = ReplayStream::per_core(content);
+    let data = TraceData::from_content(content);
+    let cycles = cycles.unwrap_or(content.header.cycles);
+    Ok(run_session(&system, policy, cycles, &mut streams, data))
+}
+
+/// Renders session stats as JSON with sorted keys — two sessions are
+/// bit-identical iff their serialized [`stats_json`] values are equal,
+/// which is how the CI round-trip check diffs a replay against its live
+/// run.
+pub fn stats_json(policy: &str, workload: &str, s: &SessionStats) -> Value {
+    json!({
+        "policy": policy,
+        "workload": workload,
+        "ipc": s.ipc,
+        "accesses": s.accesses,
+        "set_dueling_cp_th": s.cp_th,
+        "llc": json!({
+            "gets": s.llc.gets,
+            "getx": s.llc.getx,
+            "hits": s.llc.hits,
+            "misses": s.llc.misses,
+            "hit_rate": s.llc.hit_rate(),
+            "sram_hits": s.llc.sram_hits,
+            "nvm_hits": s.llc.nvm_hits,
+            "sram_inserts": s.llc.sram_inserts,
+            "nvm_inserts": s.llc.nvm_inserts,
+            "migrations": s.llc.migrations,
+            "nvm_bytes_written": s.llc.nvm_bytes_written,
+            "writebacks": s.llc.writebacks,
+            "bypasses": s.llc.bypasses,
+            "write_stall_cycles": s.llc.write_stall_cycles,
+        }),
+        "hierarchy": json!({
+            "instructions": s.hierarchy.instructions,
+            "services": &s.hierarchy.services[..],
+            "loads": s.hierarchy.loads,
+            "stores": s.hierarchy.stores,
+            "upgrades": s.hierarchy.upgrades,
+            "remote_invalidations": s.hierarchy.remote_invalidations,
+        }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traceio::{TraceReader, TraceWriter};
+
+    fn args() -> Args {
+        Args {
+            policy: Policy::cp_sd(),
+            mix: 0,
+            cycles: 40_000.0,
+            seed: 7,
+            jobs: 1,
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn recording_does_not_perturb_the_run() {
+        let a = args();
+        let live = live_session(&a, 4);
+        let writer = TraceWriter::new(Vec::new(), &recording_header(&a, 4)).unwrap();
+        let (recorded, _) = record_session(&a, 4, writer).unwrap();
+        assert_eq!(live, recorded, "the recorder tap changed the simulation");
+    }
+
+    #[test]
+    fn replay_reproduces_the_live_run() {
+        let a = args();
+        let writer = TraceWriter::new(Vec::new(), &recording_header(&a, 2)).unwrap();
+        let (live, bytes) = record_session(&a, 2, writer).unwrap();
+        let content = TraceReader::new(&bytes[..]).unwrap().read_to_end().unwrap();
+        assert_eq!(content.header.cores, 2);
+        let replayed = replay_session(&content, a.policy, None).unwrap();
+        assert_eq!(live, replayed, "replay diverged from the recorded run");
+        let lhs = stats_json("cp_sd", "mix1", &live);
+        let rhs = stats_json("cp_sd", "mix1", &replayed);
+        assert_eq!(
+            serde_json::to_string_pretty(&lhs).unwrap(),
+            serde_json::to_string_pretty(&rhs).unwrap()
+        );
+    }
+
+    #[test]
+    fn replay_under_another_policy_still_runs() {
+        let a = args();
+        let writer = TraceWriter::new(Vec::new(), &recording_header(&a, 4)).unwrap();
+        let (_, bytes) = record_session(&a, 4, writer).unwrap();
+        let content = TraceReader::new(&bytes[..]).unwrap().read_to_end().unwrap();
+        let other = replay_session(&content, Policy::Bh, None).unwrap();
+        assert!(other.ipc > 0.0);
+        assert!(other.llc.requests() > 0);
+    }
+}

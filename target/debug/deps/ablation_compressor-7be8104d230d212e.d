@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_compressor-7be8104d230d212e.d: crates/bench/benches/ablation_compressor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_compressor-7be8104d230d212e.rmeta: crates/bench/benches/ablation_compressor.rs Cargo.toml
+
+crates/bench/benches/ablation_compressor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_epoch-7061a370638ef960.d: crates/bench/benches/ablation_epoch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_epoch-7061a370638ef960.rmeta: crates/bench/benches/ablation_epoch.rs Cargo.toml
+
+crates/bench/benches/ablation_epoch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_fit_lru-716ecf602c3bd8f1.d: crates/bench/benches/ablation_fit_lru.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_fit_lru-716ecf602c3bd8f1.rmeta: crates/bench/benches/ablation_fit_lru.rs Cargo.toml
+
+crates/bench/benches/ablation_fit_lru.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_memory-39c29aa183ee0e2f.d: crates/bench/benches/ablation_memory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_memory-39c29aa183ee0e2f.rmeta: crates/bench/benches/ablation_memory.rs Cargo.toml
+
+crates/bench/benches/ablation_memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

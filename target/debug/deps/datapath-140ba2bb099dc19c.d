@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datapath-140ba2bb099dc19c.d: tests/datapath.rs
+
+/root/repo/target/debug/deps/datapath-140ba2bb099dc19c: tests/datapath.rs
+
+tests/datapath.rs:

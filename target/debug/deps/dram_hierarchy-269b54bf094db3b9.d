@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dram_hierarchy-269b54bf094db3b9.d: tests/dram_hierarchy.rs
+
+/root/repo/target/debug/deps/dram_hierarchy-269b54bf094db3b9: tests/dram_hierarchy.rs
+
+tests/dram_hierarchy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dram_hierarchy-69d04b8637e6b6d0.d: tests/dram_hierarchy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdram_hierarchy-69d04b8637e6b6d0.rmeta: tests/dram_hierarchy.rs Cargo.toml
+
+tests/dram_hierarchy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-d8c4c174a1a3639a.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-d8c4c174a1a3639a: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/energy-883fe5757e3adf49.d: crates/bench/benches/energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenergy-883fe5757e3adf49.rmeta: crates/bench/benches/energy.rs Cargo.toml
+
+crates/bench/benches/energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10a-bb3ea71bb94e317c.d: crates/bench/benches/fig10a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10a-bb3ea71bb94e317c.rmeta: crates/bench/benches/fig10a.rs Cargo.toml
+
+crates/bench/benches/fig10a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

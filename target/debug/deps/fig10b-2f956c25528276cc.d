@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10b-2f956c25528276cc.d: crates/bench/benches/fig10b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10b-2f956c25528276cc.rmeta: crates/bench/benches/fig10b.rs Cargo.toml
+
+crates/bench/benches/fig10b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10c-f5dfeb62fab177dd.d: crates/bench/benches/fig10c.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10c-f5dfeb62fab177dd.rmeta: crates/bench/benches/fig10c.rs Cargo.toml
+
+crates/bench/benches/fig10c.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11a-359b4f33411ccafe.d: crates/bench/benches/fig11a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11a-359b4f33411ccafe.rmeta: crates/bench/benches/fig11a.rs Cargo.toml
+
+crates/bench/benches/fig11a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

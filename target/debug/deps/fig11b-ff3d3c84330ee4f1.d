@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11b-ff3d3c84330ee4f1.d: crates/bench/benches/fig11b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11b-ff3d3c84330ee4f1.rmeta: crates/bench/benches/fig11b.rs Cargo.toml
+
+crates/bench/benches/fig11b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11c-d22885dceb9f1505.d: crates/bench/benches/fig11c.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11c-d22885dceb9f1505.rmeta: crates/bench/benches/fig11c.rs Cargo.toml
+
+crates/bench/benches/fig11c.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

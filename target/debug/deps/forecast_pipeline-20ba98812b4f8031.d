@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/forecast_pipeline-20ba98812b4f8031.d: tests/forecast_pipeline.rs
+
+/root/repo/target/debug/deps/forecast_pipeline-20ba98812b4f8031: tests/forecast_pipeline.rs
+
+tests/forecast_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/forecast_pipeline-8a5b2f8b1feab06a.d: tests/forecast_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libforecast_pipeline-8a5b2f8b1feab06a.rmeta: tests/forecast_pipeline.rs Cargo.toml
+
+tests/forecast_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

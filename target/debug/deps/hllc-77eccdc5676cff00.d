@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hllc-77eccdc5676cff00.d: src/bin/hllc.rs
+
+/root/repo/target/debug/deps/hllc-77eccdc5676cff00: src/bin/hllc.rs
+
+src/bin/hllc.rs:

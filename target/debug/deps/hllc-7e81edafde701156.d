@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hllc-7e81edafde701156.d: src/bin/hllc.rs
+
+/root/repo/target/debug/deps/hllc-7e81edafde701156: src/bin/hllc.rs
+
+src/bin/hllc.rs:

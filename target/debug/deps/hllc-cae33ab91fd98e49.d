@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hllc-cae33ab91fd98e49.d: src/bin/hllc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhllc-cae33ab91fd98e49.rmeta: src/bin/hllc.rs Cargo.toml
+
+src/bin/hllc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

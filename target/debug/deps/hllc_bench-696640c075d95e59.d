@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hllc_bench-696640c075d95e59.d: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/report.rs crates/bench/src/stats.rs
+
+/root/repo/target/debug/deps/hllc_bench-696640c075d95e59: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/report.rs crates/bench/src/stats.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp.rs:
+crates/bench/src/report.rs:
+crates/bench/src/stats.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hllc_runner-79773f4b4d822c5f.d: crates/runner/src/lib.rs crates/runner/src/pool.rs crates/runner/src/seed.rs crates/runner/src/sweep.rs
+
+/root/repo/target/debug/deps/hllc_runner-79773f4b4d822c5f: crates/runner/src/lib.rs crates/runner/src/pool.rs crates/runner/src/seed.rs crates/runner/src/sweep.rs
+
+crates/runner/src/lib.rs:
+crates/runner/src/pool.rs:
+crates/runner/src/seed.rs:
+crates/runner/src/sweep.rs:

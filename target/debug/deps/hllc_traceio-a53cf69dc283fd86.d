@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hllc_traceio-a53cf69dc283fd86.d: crates/traceio/src/lib.rs crates/traceio/src/crc32.rs crates/traceio/src/format.rs crates/traceio/src/reader.rs crates/traceio/src/record.rs crates/traceio/src/replay.rs crates/traceio/src/varint.rs crates/traceio/src/writer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhllc_traceio-a53cf69dc283fd86.rmeta: crates/traceio/src/lib.rs crates/traceio/src/crc32.rs crates/traceio/src/format.rs crates/traceio/src/reader.rs crates/traceio/src/record.rs crates/traceio/src/replay.rs crates/traceio/src/varint.rs crates/traceio/src/writer.rs Cargo.toml
+
+crates/traceio/src/lib.rs:
+crates/traceio/src/crc32.rs:
+crates/traceio/src/format.rs:
+crates/traceio/src/reader.rs:
+crates/traceio/src/record.rs:
+crates/traceio/src/replay.rs:
+crates/traceio/src/varint.rs:
+crates/traceio/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hllc_traceio-b38b2f0574ef7ed9.d: crates/traceio/src/lib.rs crates/traceio/src/crc32.rs crates/traceio/src/format.rs crates/traceio/src/reader.rs crates/traceio/src/record.rs crates/traceio/src/replay.rs crates/traceio/src/varint.rs crates/traceio/src/writer.rs
+
+/root/repo/target/debug/deps/libhllc_traceio-b38b2f0574ef7ed9.rlib: crates/traceio/src/lib.rs crates/traceio/src/crc32.rs crates/traceio/src/format.rs crates/traceio/src/reader.rs crates/traceio/src/record.rs crates/traceio/src/replay.rs crates/traceio/src/varint.rs crates/traceio/src/writer.rs
+
+/root/repo/target/debug/deps/libhllc_traceio-b38b2f0574ef7ed9.rmeta: crates/traceio/src/lib.rs crates/traceio/src/crc32.rs crates/traceio/src/format.rs crates/traceio/src/reader.rs crates/traceio/src/record.rs crates/traceio/src/replay.rs crates/traceio/src/varint.rs crates/traceio/src/writer.rs
+
+crates/traceio/src/lib.rs:
+crates/traceio/src/crc32.rs:
+crates/traceio/src/format.rs:
+crates/traceio/src/reader.rs:
+crates/traceio/src/record.rs:
+crates/traceio/src/replay.rs:
+crates/traceio/src/varint.rs:
+crates/traceio/src/writer.rs:

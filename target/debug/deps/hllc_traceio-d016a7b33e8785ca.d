@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hllc_traceio-d016a7b33e8785ca.d: crates/traceio/src/lib.rs crates/traceio/src/crc32.rs crates/traceio/src/format.rs crates/traceio/src/reader.rs crates/traceio/src/record.rs crates/traceio/src/replay.rs crates/traceio/src/varint.rs crates/traceio/src/writer.rs
+
+/root/repo/target/debug/deps/hllc_traceio-d016a7b33e8785ca: crates/traceio/src/lib.rs crates/traceio/src/crc32.rs crates/traceio/src/format.rs crates/traceio/src/reader.rs crates/traceio/src/record.rs crates/traceio/src/replay.rs crates/traceio/src/varint.rs crates/traceio/src/writer.rs
+
+crates/traceio/src/lib.rs:
+crates/traceio/src/crc32.rs:
+crates/traceio/src/format.rs:
+crates/traceio/src/reader.rs:
+crates/traceio/src/record.rs:
+crates/traceio/src/replay.rs:
+crates/traceio/src/varint.rs:
+crates/traceio/src/writer.rs:

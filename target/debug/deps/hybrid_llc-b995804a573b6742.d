@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hybrid_llc-b995804a573b6742.d: src/lib.rs src/cli.rs src/session.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhybrid_llc-b995804a573b6742.rmeta: src/lib.rs src/cli.rs src/session.rs Cargo.toml
+
+src/lib.rs:
+src/cli.rs:
+src/session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

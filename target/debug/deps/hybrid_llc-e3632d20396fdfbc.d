@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hybrid_llc-e3632d20396fdfbc.d: src/lib.rs src/cli.rs src/session.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhybrid_llc-e3632d20396fdfbc.rmeta: src/lib.rs src/cli.rs src/session.rs Cargo.toml
+
+src/lib.rs:
+src/cli.rs:
+src/session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hybrid_llc-e58bcc040d4e3469.d: src/lib.rs src/cli.rs src/session.rs
+
+/root/repo/target/debug/deps/libhybrid_llc-e58bcc040d4e3469.rlib: src/lib.rs src/cli.rs src/session.rs
+
+/root/repo/target/debug/deps/libhybrid_llc-e58bcc040d4e3469.rmeta: src/lib.rs src/cli.rs src/session.rs
+
+src/lib.rs:
+src/cli.rs:
+src/session.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hybrid_llc-ec30d8ceadadd8dc.d: src/lib.rs src/cli.rs src/session.rs
+
+/root/repo/target/debug/deps/hybrid_llc-ec30d8ceadadd8dc: src/lib.rs src/cli.rs src/session.rs
+
+src/lib.rs:
+src/cli.rs:
+src/session.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_driver-d9a90865c92522e9.d: crates/trace/tests/proptest_driver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_driver-d9a90865c92522e9.rmeta: crates/trace/tests/proptest_driver.rs Cargo.toml
+
+crates/trace/tests/proptest_driver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_driver-f61d6c0cef7c3bd6.d: crates/trace/tests/proptest_driver.rs
+
+/root/repo/target/debug/deps/proptest_driver-f61d6c0cef7c3bd6: crates/trace/tests/proptest_driver.rs
+
+crates/trace/tests/proptest_driver.rs:

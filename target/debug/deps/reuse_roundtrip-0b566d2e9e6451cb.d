@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reuse_roundtrip-0b566d2e9e6451cb.d: tests/reuse_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreuse_roundtrip-0b566d2e9e6451cb.rmeta: tests/reuse_roundtrip.rs Cargo.toml
+
+tests/reuse_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

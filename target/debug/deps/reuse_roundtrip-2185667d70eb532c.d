@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reuse_roundtrip-2185667d70eb532c.d: tests/reuse_roundtrip.rs
+
+/root/repo/target/debug/deps/reuse_roundtrip-2185667d70eb532c: tests/reuse_roundtrip.rs
+
+tests/reuse_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_determinism-e6257102c571deea.d: tests/sweep_determinism.rs
+
+/root/repo/target/debug/deps/sweep_determinism-e6257102c571deea: tests/sweep_determinism.rs
+
+tests/sweep_determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4-b753498c6a2aee25.d: crates/bench/benches/table4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4-b753498c6a2aee25.rmeta: crates/bench/benches/table4.rs Cargo.toml
+
+crates/bench/benches/table4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

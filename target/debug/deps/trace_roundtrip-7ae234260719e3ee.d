@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_roundtrip-7ae234260719e3ee.d: tests/trace_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_roundtrip-7ae234260719e3ee.rmeta: tests/trace_roundtrip.rs Cargo.toml
+
+tests/trace_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_roundtrip-93974ddd1d169220.d: tests/trace_roundtrip.rs
+
+/root/repo/target/debug/deps/trace_roundtrip-93974ddd1d169220: tests/trace_roundtrip.rs
+
+tests/trace_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_seed_properties-e2c9189a1e28c1d0.d: tests/trace_seed_properties.rs
+
+/root/repo/target/debug/deps/trace_seed_properties-e2c9189a1e28c1d0: tests/trace_seed_properties.rs
+
+tests/trace_seed_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_seed_properties-fc31aed6c40f6f3b.d: tests/trace_seed_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_seed_properties-fc31aed6c40f6f3b.rmeta: tests/trace_seed_properties.rs Cargo.toml
+
+tests/trace_seed_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/variability-8771c616b3d8c699.d: crates/bench/benches/variability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvariability-8771c616b3d8c699.rmeta: crates/bench/benches/variability.rs Cargo.toml
+
+crates/bench/benches/variability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compression_explorer-1bf6e186b271d69f.d: examples/compression_explorer.rs
+
+/root/repo/target/debug/examples/compression_explorer-1bf6e186b271d69f: examples/compression_explorer.rs
+
+examples/compression_explorer.rs:

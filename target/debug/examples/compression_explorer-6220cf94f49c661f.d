@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compression_explorer-6220cf94f49c661f.d: examples/compression_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompression_explorer-6220cf94f49c661f.rmeta: examples/compression_explorer.rs Cargo.toml
+
+examples/compression_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

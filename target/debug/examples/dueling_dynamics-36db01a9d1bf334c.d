@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dueling_dynamics-36db01a9d1bf334c.d: examples/dueling_dynamics.rs
+
+/root/repo/target/debug/examples/dueling_dynamics-36db01a9d1bf334c: examples/dueling_dynamics.rs
+
+examples/dueling_dynamics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dueling_dynamics-916ff1bca3a6a559.d: examples/dueling_dynamics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdueling_dynamics-916ff1bca3a6a559.rmeta: examples/dueling_dynamics.rs Cargo.toml
+
+examples/dueling_dynamics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lifetime_forecast-7a525e49b46280a8.d: examples/lifetime_forecast.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblifetime_forecast-7a525e49b46280a8.rmeta: examples/lifetime_forecast.rs Cargo.toml
+
+examples/lifetime_forecast.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lifetime_forecast-9d304cc7069585a4.d: examples/lifetime_forecast.rs
+
+/root/repo/target/debug/examples/lifetime_forecast-9d304cc7069585a4: examples/lifetime_forecast.rs
+
+examples/lifetime_forecast.rs:

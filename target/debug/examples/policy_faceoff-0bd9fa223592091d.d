@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/policy_faceoff-0bd9fa223592091d.d: examples/policy_faceoff.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpolicy_faceoff-0bd9fa223592091d.rmeta: examples/policy_faceoff.rs Cargo.toml
+
+examples/policy_faceoff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

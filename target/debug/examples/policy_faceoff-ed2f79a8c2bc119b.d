@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_faceoff-ed2f79a8c2bc119b.d: examples/policy_faceoff.rs
+
+/root/repo/target/debug/examples/policy_faceoff-ed2f79a8c2bc119b: examples/policy_faceoff.rs
+
+examples/policy_faceoff.rs:

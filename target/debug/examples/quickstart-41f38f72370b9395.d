@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-41f38f72370b9395.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-41f38f72370b9395: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wear_and_tear-7c550a2f92e4fa70.d: examples/wear_and_tear.rs
+
+/root/repo/target/debug/examples/wear_and_tear-7c550a2f92e4fa70: examples/wear_and_tear.rs
+
+examples/wear_and_tear.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wear_and_tear-c4a1275f4715162c.d: examples/wear_and_tear.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwear_and_tear-c4a1275f4715162c.rmeta: examples/wear_and_tear.rs Cargo.toml
+
+examples/wear_and_tear.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

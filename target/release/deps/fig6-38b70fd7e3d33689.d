@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-38b70fd7e3d33689.d: crates/bench/benches/fig6.rs
+
+/root/repo/target/release/deps/fig6-38b70fd7e3d33689: crates/bench/benches/fig6.rs
+
+crates/bench/benches/fig6.rs:

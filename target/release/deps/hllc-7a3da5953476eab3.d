@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hllc-7a3da5953476eab3.d: src/bin/hllc.rs
+
+/root/repo/target/release/deps/hllc-7a3da5953476eab3: src/bin/hllc.rs
+
+src/bin/hllc.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hllc_bench-1e407948217491e6.d: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/report.rs crates/bench/src/stats.rs
+
+/root/repo/target/release/deps/libhllc_bench-1e407948217491e6.rlib: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/report.rs crates/bench/src/stats.rs
+
+/root/repo/target/release/deps/libhllc_bench-1e407948217491e6.rmeta: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/report.rs crates/bench/src/stats.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp.rs:
+crates/bench/src/report.rs:
+crates/bench/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hllc_runner-e8cd0c884aee3c9e.d: crates/runner/src/lib.rs crates/runner/src/pool.rs crates/runner/src/seed.rs crates/runner/src/sweep.rs
+
+/root/repo/target/release/deps/libhllc_runner-e8cd0c884aee3c9e.rlib: crates/runner/src/lib.rs crates/runner/src/pool.rs crates/runner/src/seed.rs crates/runner/src/sweep.rs
+
+/root/repo/target/release/deps/libhllc_runner-e8cd0c884aee3c9e.rmeta: crates/runner/src/lib.rs crates/runner/src/pool.rs crates/runner/src/seed.rs crates/runner/src/sweep.rs
+
+crates/runner/src/lib.rs:
+crates/runner/src/pool.rs:
+crates/runner/src/seed.rs:
+crates/runner/src/sweep.rs:

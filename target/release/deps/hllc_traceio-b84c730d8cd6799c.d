@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/hllc_traceio-b84c730d8cd6799c.d: crates/traceio/src/lib.rs crates/traceio/src/crc32.rs crates/traceio/src/format.rs crates/traceio/src/reader.rs crates/traceio/src/record.rs crates/traceio/src/replay.rs crates/traceio/src/varint.rs crates/traceio/src/writer.rs
+
+/root/repo/target/release/deps/libhllc_traceio-b84c730d8cd6799c.rlib: crates/traceio/src/lib.rs crates/traceio/src/crc32.rs crates/traceio/src/format.rs crates/traceio/src/reader.rs crates/traceio/src/record.rs crates/traceio/src/replay.rs crates/traceio/src/varint.rs crates/traceio/src/writer.rs
+
+/root/repo/target/release/deps/libhllc_traceio-b84c730d8cd6799c.rmeta: crates/traceio/src/lib.rs crates/traceio/src/crc32.rs crates/traceio/src/format.rs crates/traceio/src/reader.rs crates/traceio/src/record.rs crates/traceio/src/replay.rs crates/traceio/src/varint.rs crates/traceio/src/writer.rs
+
+crates/traceio/src/lib.rs:
+crates/traceio/src/crc32.rs:
+crates/traceio/src/format.rs:
+crates/traceio/src/reader.rs:
+crates/traceio/src/record.rs:
+crates/traceio/src/replay.rs:
+crates/traceio/src/varint.rs:
+crates/traceio/src/writer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hybrid_llc-1148051f094edea7.d: src/lib.rs src/cli.rs src/session.rs
+
+/root/repo/target/release/deps/libhybrid_llc-1148051f094edea7.rlib: src/lib.rs src/cli.rs src/session.rs
+
+/root/repo/target/release/deps/libhybrid_llc-1148051f094edea7.rmeta: src/lib.rs src/cli.rs src/session.rs
+
+src/lib.rs:
+src/cli.rs:
+src/session.rs:

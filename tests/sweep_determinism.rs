@@ -15,6 +15,7 @@ fn spec(threads: usize) -> SweepSpec {
         warmup_cycles: 5_000.0,
         measure_cycles: 10_000.0,
         threads,
+        trace: None,
     }
 }
 
