@@ -1,0 +1,28 @@
+//! Kernel throughput bench: accesses/sec of the per-access LLC kernel
+//! (way scan + BDI size probe + fault-map update) per policy, driven by
+//! the fig10a-style workload. `hllc bench-kernel` runs the same
+//! measurement and records it in `BENCH_kernel.json`; this target is the
+//! criterion-style interactive view.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hllc_bench::kernel::{kernel_policies, measure_kernel};
+
+fn bench_kernel(c: &mut Criterion) {
+    // Small per-iteration access count: criterion repeats the measurement,
+    // and the interesting number is the reported per-policy throughput.
+    const ACCESSES: u64 = 200_000;
+    for (label, policy) in kernel_policies() {
+        c.bench_function(&format!("kernel/{label}"), |b| {
+            b.iter(|| std::hint::black_box(measure_kernel(policy, ACCESSES, 42)))
+        });
+    }
+    // A one-shot absolute report in the same units as BENCH_kernel.json.
+    println!("\nkernel throughput (one-shot, 1M accesses each):");
+    for (label, policy) in kernel_policies() {
+        let r = measure_kernel(policy, 1_000_000, 42);
+        println!("  {label:<12} {:>12.0} accesses/sec", r.accesses_per_sec);
+    }
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

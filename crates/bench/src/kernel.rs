@@ -1,0 +1,289 @@
+//! Kernel throughput measurement: accesses/sec of the per-access LLC
+//! kernel.
+//!
+//! Every figure replays hundreds of millions of references, so end-to-end
+//! wall clock is dominated by the per-access kernel: the BDI size probe,
+//! the hybrid-set way scan, and the fault-map update. This module drives
+//! that kernel directly at the [`LlcPort`] — every reference of the
+//! fig10a-style workload (mix 1) issues a request and, on a miss, an
+//! insert — so the measurement isolates the LLC kernel from the private
+//! L1/L2 levels that filter most references in a full-hierarchy run.
+//!
+//! The `hllc bench-kernel` subcommand and the `kernel` bench target both
+//! call [`measure_kernel`]; the subcommand records the results in
+//! `BENCH_kernel.json` so every PR leaves a throughput trajectory.
+
+use std::time::Instant;
+
+use hllc_core::{HybridConfig, HybridLlc, Policy};
+use hllc_sim::{block_of, DataModel, LlcPort, LlcReq, Op, ReuseClass, SystemConfig};
+use hllc_trace::{mixes, RefSource};
+
+/// Default number of references per policy measurement.
+pub const DEFAULT_ACCESSES: u64 = 2_000_000;
+
+/// Cycles charged per reference when driving the port directly (keeps the
+/// dueling epochs and NVM bank timing ticking at a realistic rate).
+const CYCLES_PER_ACCESS: u64 = 4;
+
+/// One policy's kernel throughput measurement.
+#[derive(Clone, Debug)]
+pub struct KernelResult {
+    /// Policy label (the fig10a curve name).
+    pub policy: String,
+    /// References driven through the LLC port.
+    pub accesses: u64,
+    /// Wall-clock seconds of the measured window.
+    pub elapsed_secs: f64,
+    /// The headline number: `accesses / elapsed_secs`.
+    pub accesses_per_sec: f64,
+    /// LLC hits over the measured window (a determinism fingerprint: the
+    /// refactor must not change it for a given policy/seed/accesses).
+    pub hits: u64,
+}
+
+/// The policies the kernel bench reports, with their fig10a labels.
+pub fn kernel_policies() -> Vec<(String, Policy)> {
+    crate::exp::headline_policies()
+}
+
+/// One pre-synthesized kernel reference: the block address plus whether it
+/// is a store (GetX + dirty insert).
+#[derive(Clone, Copy, Debug)]
+struct KernelRef {
+    block: u64,
+    store: bool,
+}
+
+/// Drives `accesses` references of mix 1 (the fig10a-style workload)
+/// through the LLC port under `policy` and measures wall-clock throughput.
+///
+/// The reference stream is synthesized *before* the timed window, so the
+/// measurement covers exactly the per-access kernel the refactor targets —
+/// the way scan, the size probe (through the data model), and the
+/// fault-map update — not the synthetic workload generator. The LLC is
+/// configured exactly like a `hllc run` session (scaled-down geometry,
+/// endurance-sampled NVM array, 100k-cycle dueling epochs); the first 10%
+/// of references are warm-up and excluded from timing.
+pub fn measure_kernel(policy: Policy, accesses: u64, seed: u64) -> KernelResult {
+    let system = SystemConfig::scaled_down();
+    let cfg = HybridConfig::from_geometry(system.llc, policy)
+        .with_endurance(1e8, 0.2)
+        .with_epoch_cycles(100_000)
+        .with_dueling_smoothing(0.6)
+        .with_seed(seed);
+    let mut llc = HybridLlc::new(&cfg);
+
+    let mix = &mixes()[0];
+    let scale = system.llc.sets as f64 / 4096.0;
+    let mut streams = mix.instantiate(scale, seed);
+    let mut data = mix.data_model(seed);
+
+    let warmup = (accesses / 10) as usize;
+    let refs = synthesize_refs(&mut streams, warmup + accesses as usize);
+
+    let mut now = 0u64;
+    drive(&mut llc, &mut data, &refs[..warmup], &mut now);
+    llc.reset_stats();
+
+    let start = Instant::now();
+    drive(&mut llc, &mut data, &refs[warmup..], &mut now);
+    let elapsed = start.elapsed().as_secs_f64();
+
+    KernelResult {
+        policy: policy.name().to_string(),
+        accesses,
+        elapsed_secs: elapsed,
+        accesses_per_sec: accesses as f64 / elapsed.max(1e-12),
+        hits: llc.stats().hits,
+    }
+}
+
+/// Pulls `n` references round-robin from the per-core streams.
+fn synthesize_refs<S: RefSource>(streams: &mut [S], n: usize) -> Vec<KernelRef> {
+    let cores = streams.len();
+    let mut refs = Vec::with_capacity(n);
+    for i in 0..n {
+        let core = i % cores;
+        let Some(a) = streams[core].next_access(core as u8) else {
+            break;
+        };
+        refs.push(KernelRef {
+            block: block_of(a.addr),
+            store: a.op == Op::Store,
+        });
+    }
+    refs
+}
+
+/// The measurement loop: one request per reference, one insert per miss.
+fn drive<D: DataModel>(llc: &mut HybridLlc, data: &mut D, refs: &[KernelRef], now: &mut u64) {
+    for r in refs {
+        let (req, reuse) = if r.store {
+            (LlcReq::GetX, ReuseClass::Write)
+        } else {
+            (LlcReq::GetS, ReuseClass::Read)
+        };
+        let resp = llc.request(*now, r.block, req);
+        if !resp.hit {
+            llc.insert(*now, r.block, r.store, reuse, data);
+        }
+        *now += CYCLES_PER_ACCESS;
+    }
+}
+
+/// Builds the `BENCH_kernel.json` report: records `results` under `label`
+/// (`"before"` or `"after"`), preserving the other label's section from
+/// `existing`, and recomputes per-policy and mean speedups when both
+/// sections are present.
+pub fn kernel_report(
+    existing: Option<&serde_json::Value>,
+    label: &str,
+    results: &[KernelResult],
+    seed: u64,
+) -> serde_json::Value {
+    use serde_json::{json, Value};
+
+    let section = |rs: &[KernelResult]| -> Value {
+        let mut policies = std::collections::BTreeMap::new();
+        for r in rs {
+            policies.insert(
+                r.policy.clone(),
+                json!({
+                    "accesses": r.accesses,
+                    "elapsed_secs": r.elapsed_secs,
+                    "accesses_per_sec": r.accesses_per_sec,
+                    "hits": r.hits,
+                }),
+            );
+        }
+        let mean = mean_throughput_of(rs);
+        json!({
+            "policies": Value::Object(policies),
+            "mean_accesses_per_sec": mean,
+        })
+    };
+
+    let other_label = if label == "before" { "after" } else { "before" };
+    let other = existing
+        .and_then(|e| e.get(other_label))
+        .cloned()
+        .unwrap_or(Value::Null);
+
+    let mut report = std::collections::BTreeMap::new();
+    report.insert("schema".to_string(), json!("hllc-bench-kernel/v1"));
+    report.insert("workload".to_string(), json!("mix 1 (fig10a headline)"));
+    report.insert("seed".to_string(), json!(seed));
+    report.insert(label.to_string(), section(results));
+    if other != Value::Null {
+        report.insert(other_label.to_string(), other);
+    }
+
+    let report_v = Value::Object(report.clone());
+    if let (Some(before), Some(after)) = (
+        mean_throughput(report_v.get("before")),
+        mean_throughput(report_v.get("after")),
+    ) {
+        if before > 0.0 {
+            let mut speedup = std::collections::BTreeMap::new();
+            speedup.insert("mean".to_string(), json!(after / before));
+            for (policy, b) in policy_throughputs(report_v.get("before")) {
+                if let Some(a) = policy_throughputs(report_v.get("after"))
+                    .into_iter()
+                    .find(|(p, _)| *p == policy)
+                    .map(|(_, v)| v)
+                {
+                    if b > 0.0 {
+                        speedup.insert(policy, json!(a / b));
+                    }
+                }
+            }
+            report.insert("speedup".to_string(), Value::Object(speedup));
+        }
+    }
+    Value::Object(report)
+}
+
+/// Mean accesses/sec over a result slice.
+fn mean_throughput_of(rs: &[KernelResult]) -> f64 {
+    if rs.is_empty() {
+        return 0.0;
+    }
+    rs.iter().map(|r| r.accesses_per_sec).sum::<f64>() / rs.len() as f64
+}
+
+/// Reads `mean_accesses_per_sec` out of a report section.
+pub fn mean_throughput(section: Option<&serde_json::Value>) -> Option<f64> {
+    section?.get("mean_accesses_per_sec")?.as_f64()
+}
+
+/// Reads the `(policy, accesses_per_sec)` pairs out of a report section.
+fn policy_throughputs(section: Option<&serde_json::Value>) -> Vec<(String, f64)> {
+    let Some(serde_json::Value::Object(policies)) = section.and_then(|s| s.get("policies")) else {
+        return Vec::new();
+    };
+    policies
+        .iter()
+        .filter_map(|(p, v)| Some((p.clone(), v.get("accesses_per_sec")?.as_f64()?)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(policy: &str, aps: f64) -> KernelResult {
+        KernelResult {
+            policy: policy.into(),
+            accesses: 1000,
+            elapsed_secs: 1000.0 / aps,
+            accesses_per_sec: aps,
+            hits: 1,
+        }
+    }
+
+    #[test]
+    fn report_records_one_label() {
+        let r = kernel_report(None, "before", &[result("BH", 100.0)], 42);
+        assert_eq!(mean_throughput(r.get("before")), Some(100.0));
+        assert!(r.get("after").is_none());
+        assert!(r.get("speedup").is_none());
+    }
+
+    #[test]
+    fn report_merges_before_and_after_with_speedup() {
+        let before = kernel_report(None, "before", &[result("BH", 100.0)], 42);
+        let text = serde_json::to_string_pretty(&before).unwrap();
+        let parsed = serde_json::from_str(&text).unwrap();
+        let merged = kernel_report(Some(&parsed), "after", &[result("BH", 250.0)], 42);
+        assert_eq!(mean_throughput(merged.get("before")), Some(100.0));
+        assert_eq!(mean_throughput(merged.get("after")), Some(250.0));
+        let speedup = merged.get("speedup").expect("speedup section");
+        assert_eq!(speedup.get("mean").and_then(|v| v.as_f64()), Some(2.5));
+        assert_eq!(speedup.get("BH").and_then(|v| v.as_f64()), Some(2.5));
+    }
+
+    #[test]
+    fn rewriting_a_label_overwrites_it() {
+        let first = kernel_report(None, "after", &[result("BH", 100.0)], 42);
+        let second = kernel_report(Some(&first), "after", &[result("BH", 300.0)], 42);
+        assert_eq!(mean_throughput(second.get("after")), Some(300.0));
+        assert!(second.get("before").is_none());
+    }
+
+    #[test]
+    fn kernel_measurement_is_sane() {
+        let r = measure_kernel(Policy::cp_sd(), 50_000, 7);
+        assert_eq!(r.policy, "CP_SD");
+        assert_eq!(r.accesses, 50_000);
+        assert!(r.accesses_per_sec.is_finite() && r.accesses_per_sec > 0.0);
+        assert!(r.hits > 0, "warm kernel must see LLC hits");
+    }
+
+    #[test]
+    fn kernel_hits_are_deterministic() {
+        let a = measure_kernel(Policy::Bh, 30_000, 3);
+        let b = measure_kernel(Policy::Bh, 30_000, 3);
+        assert_eq!(a.hits, b.hits, "kernel drive must be deterministic");
+    }
+}

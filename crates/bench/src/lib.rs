@@ -16,5 +16,6 @@
 //!   instead of the fast scaled-down configuration. Expect hours.
 
 pub mod exp;
+pub mod kernel;
 pub mod report;
 pub mod stats;

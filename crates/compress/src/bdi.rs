@@ -1,9 +1,16 @@
 //! The BDI compressor and decompressor.
 //!
 //! Hardware evaluates all compression encodings in parallel and picks the
-//! smallest applicable one (§II-B); this software model does the same
-//! sequentially. Decompression is exact: `decompress(compress(b)) == b` for
-//! every 64-byte block.
+//! smallest applicable one (§II-B); this software model gathers the same
+//! information in a single pass over the block: one sweep computes the
+//! zero/repeated flags and the min/max signed delta against lane 0 for every
+//! base width, from which the minimal delta width per base — and therefore
+//! the unique smallest encoding (Table I sizes are all distinct) — follows
+//! arithmetically. Decompression is exact: `decompress(compress(b)) == b`
+//! for every 64-byte block.
+//!
+//! Nothing in this module allocates: [`Compressor::probe`] works from the
+//! raw bytes alone, and [`CompressedBlock`] stores its payload inline.
 
 use crate::block::{Block, BLOCK_SIZE};
 use crate::encoding::Encoding;
@@ -12,7 +19,8 @@ use crate::encoding::Encoding;
 ///
 /// The payload layout is `base || delta_1 || ... || delta_{lanes-1}` with
 /// little-endian bases and little-endian two's-complement deltas, matching
-/// [`Encoding::compressed_size`] exactly.
+/// [`Encoding::compressed_size`] exactly. The payload is stored inline (the
+/// unused tail is zero), so compressing never touches the heap.
 ///
 /// # Example
 ///
@@ -27,7 +35,7 @@ use crate::encoding::Encoding;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CompressedBlock {
     encoding: Encoding,
-    payload: Vec<u8>,
+    payload: [u8; BLOCK_SIZE],
 }
 
 impl CompressedBlock {
@@ -49,7 +57,7 @@ impl CompressedBlock {
 
     /// The raw payload bytes (base followed by deltas).
     pub fn payload(&self) -> &[u8] {
-        &self.payload
+        &self.payload[..self.encoding.compressed_size() as usize]
     }
 
     /// Reconstructs the original 64-byte block.
@@ -60,12 +68,8 @@ impl CompressedBlock {
                 let v = u64::from_le_bytes(self.payload[..8].try_into().unwrap());
                 Block::from_u64_lanes([v; 8])
             }
-            Encoding::Uncompressed => {
-                let mut bytes = [0u8; BLOCK_SIZE];
-                bytes.copy_from_slice(&self.payload);
-                Block::new(bytes)
-            }
-            e => decompress_base_delta(e, &self.payload),
+            Encoding::Uncompressed => Block::new(self.payload),
+            e => decompress_base_delta(e, self.payload()),
         }
     }
 
@@ -73,9 +77,14 @@ impl CompressedBlock {
     /// e.g. after reading an ECB back from an NVM frame.
     ///
     /// Returns `None` if the payload length does not match the encoding.
-    pub fn from_parts(encoding: Encoding, payload: Vec<u8>) -> Option<Self> {
+    pub fn from_parts(encoding: Encoding, payload: &[u8]) -> Option<Self> {
         if payload.len() == encoding.compressed_size() as usize {
-            Some(CompressedBlock { encoding, payload })
+            let mut inline = [0u8; BLOCK_SIZE];
+            inline[..payload.len()].copy_from_slice(payload);
+            Some(CompressedBlock {
+                encoding,
+                payload: inline,
+            })
         } else {
             None
         }
@@ -96,6 +105,20 @@ pub(crate) fn ecb_size(cb_size: u8) -> u8 {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Compressor;
 
+/// The B8 encodings indexed by `delta_width - 1`.
+const B8_BY_WIDTH: [Encoding; 7] = [
+    Encoding::B8D1,
+    Encoding::B8D2,
+    Encoding::B8D3,
+    Encoding::B8D4,
+    Encoding::B8D5,
+    Encoding::B8D6,
+    Encoding::B8D7,
+];
+
+/// The B4 encodings indexed by `delta_width - 1`.
+const B4_BY_WIDTH: [Encoding; 3] = [Encoding::B4D1, Encoding::B4D2, Encoding::B4D3];
+
 impl Compressor {
     /// Creates a compressor.
     pub fn new() -> Self {
@@ -103,15 +126,19 @@ impl Compressor {
     }
 
     /// Compresses a block, choosing the smallest applicable encoding.
+    ///
+    /// The encoding comes from [`probe`](Self::probe); this method only adds
+    /// the payload materialization, writing base and deltas straight into
+    /// the inline buffer.
     pub fn compress(&self, block: &Block) -> CompressedBlock {
-        let encoding = self.best_encoding(block);
-        let payload = match encoding {
-            Encoding::Zeros => vec![0u8],
-            Encoding::Repeated => block.bytes()[..8].to_vec(),
-            Encoding::Uncompressed => block.bytes().to_vec(),
-            e => encode_base_delta(e, block),
-        };
-        debug_assert_eq!(payload.len(), encoding.compressed_size() as usize);
+        let encoding = self.probe(block.bytes());
+        let mut payload = [0u8; BLOCK_SIZE];
+        match encoding {
+            Encoding::Zeros => {}
+            Encoding::Repeated => payload[..8].copy_from_slice(&block.bytes()[..8]),
+            Encoding::Uncompressed => payload.copy_from_slice(block.bytes()),
+            e => encode_base_delta(e, block, &mut payload),
+        }
         CompressedBlock { encoding, payload }
     }
 
@@ -119,87 +146,154 @@ impl Compressor {
     /// insertion engine, which needs the size before deciding where (and
     /// whether) to materialize the compressed payload.
     pub fn compressed_size(&self, block: &Block) -> u8 {
-        self.best_encoding(block).compressed_size()
+        self.probe(block.bytes()).compressed_size()
     }
 
     /// Chooses the minimum-size encoding that can represent `block`.
     pub fn best_encoding(&self, block: &Block) -> Encoding {
-        let mut best = Encoding::Uncompressed;
-        let mut best_size = best.compressed_size();
-        for e in Encoding::ALL {
-            if e.compressed_size() < best_size && applies(e, block) {
-                best = e;
-                best_size = e.compressed_size();
+        self.probe(block.bytes())
+    }
+
+    /// The one-pass size probe: determines the best encoding from the raw
+    /// bytes alone, without materializing a payload.
+    ///
+    /// A single sweep over the eight 64-bit lanes computes everything every
+    /// encoding's applicability test needs — the OR of all lanes (zero
+    /// check), whether every lane equals lane 0 (repeated check), and the
+    /// min/max signed delta against lane 0 for the 8-, 4-, and 2-byte
+    /// groupings (the narrower lanes are carved out of the same loaded
+    /// words). The minimal delta width per base follows from the ranges, and
+    /// because Table I sizes are pairwise distinct the smallest applicable
+    /// encoding is unique, so this equals the exhaustive per-encoding
+    /// search (proven by property test).
+    pub fn probe(&self, bytes: &[u8; BLOCK_SIZE]) -> Encoding {
+        let mut lanes = [0u64; 8];
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            *lane = u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
+        }
+
+        let first = lanes[0];
+        let base8 = first as i64;
+        let base4 = i64::from(first as u32 as i32);
+        let base2 = i64::from(first as u16 as i16);
+
+        let mut any_bits = 0u64;
+        let mut repeated = true;
+        let (mut min8, mut max8) = (0i64, 0i64);
+        let (mut min4, mut max4) = (0i64, 0i64);
+        let (mut min2, mut max2) = (0i64, 0i64);
+
+        for (i, &lane) in lanes.iter().enumerate() {
+            any_bits |= lane;
+            if i > 0 {
+                repeated &= lane == first;
+                let d = (lane as i64).wrapping_sub(base8);
+                min8 = min8.min(d);
+                max8 = max8.max(d);
             }
+            for j in 0..2 {
+                if i == 0 && j == 0 {
+                    continue;
+                }
+                let d = i64::from((lane >> (32 * j)) as u32 as i32) - base4;
+                min4 = min4.min(d);
+                max4 = max4.max(d);
+            }
+            for j in 0..4 {
+                if i == 0 && j == 0 {
+                    continue;
+                }
+                let d = i64::from((lane >> (16 * j)) as u16 as i16) - base2;
+                min2 = min2.min(d);
+                max2 = max2.max(d);
+            }
+        }
+
+        if any_bits == 0 {
+            return Encoding::Zeros;
+        }
+
+        let mut best = Encoding::Uncompressed;
+        if repeated {
+            best = smaller(best, Encoding::Repeated);
+        }
+        let d8 = min_delta_width(min8, max8);
+        if d8 <= 7 {
+            best = smaller(best, B8_BY_WIDTH[usize::from(d8) - 1]);
+        }
+        let d4 = min_delta_width(min4, max4);
+        if d4 <= 3 {
+            best = smaller(best, B4_BY_WIDTH[usize::from(d4) - 1]);
+        }
+        if min_delta_width(min2, max2) == 1 {
+            best = smaller(best, Encoding::B2D1);
         }
         best
     }
-}
 
-/// True if `encoding` can losslessly represent `block`.
-fn applies(encoding: Encoding, block: &Block) -> bool {
-    match encoding {
-        Encoding::Uncompressed => true,
-        Encoding::Zeros => block.is_zero(),
-        Encoding::Repeated => {
-            let lanes = block.u64_lanes();
-            lanes.iter().all(|&v| v == lanes[0])
-        }
-        e => {
-            let delta = i64::from(e.delta_width().unwrap());
-            // Signed range representable in `delta` bytes.
-            let max = (1i64 << (8 * delta - 1)) - 1;
-            let min = -(1i64 << (8 * delta - 1));
-            match e.base_width().unwrap() {
-                8 => fits::<8>(&block.u64_lanes().map(|v| v as i64), min, max),
-                4 => fits::<16>(&block.u32_lanes().map(|v| i64::from(v as i32)), min, max),
-                2 => fits::<32>(&block.u16_lanes().map(|v| i64::from(v as i16)), min, max),
-                _ => unreachable!(),
-            }
-        }
+    /// The compressed size in bytes straight from the raw block bytes — the
+    /// probe's headline number: `probe_size(b) == compress(b).size()` for
+    /// every block, with no payload materialized.
+    pub fn probe_size(&self, bytes: &[u8; BLOCK_SIZE]) -> u8 {
+        self.probe(bytes).compressed_size()
     }
 }
 
-/// True if every lane's signed difference from the first lane lies in
-/// `[min, max]`.
-fn fits<const N: usize>(lanes: &[i64; N], min: i64, max: i64) -> bool {
-    let base = lanes[0];
-    lanes[1..]
-        .iter()
-        .all(|&v| matches!(v.wrapping_sub(base), d if d >= min && d <= max))
+/// The smaller-CB of two encodings (sizes are distinct, so no tie exists).
+fn smaller(a: Encoding, b: Encoding) -> Encoding {
+    if b.compressed_size() < a.compressed_size() {
+        b
+    } else {
+        a
+    }
 }
 
-fn encode_base_delta(encoding: Encoding, block: &Block) -> Vec<u8> {
+/// Smallest signed byte width (1..=8) whose two's-complement range
+/// `[-(1 << (8w - 1)), (1 << (8w - 1)) - 1]` contains `[min, max]`.
+fn min_delta_width(min: i64, max: i64) -> u8 {
+    let mut w = 1u8;
+    while w < 8 {
+        let hi = (1i64 << (8 * w - 1)) - 1;
+        if min >= -hi - 1 && max <= hi {
+            break;
+        }
+        w += 1;
+    }
+    w
+}
+
+/// Writes `base || deltas` for a base/delta encoding into `out` without any
+/// intermediate lane buffer: each lane is read from the block bytes, its
+/// delta computed, and the truncated little-endian bytes stored directly.
+fn encode_base_delta(encoding: Encoding, block: &Block, out: &mut [u8; BLOCK_SIZE]) {
     let base_w = encoding.base_width().unwrap() as usize;
     let delta_w = encoding.delta_width().unwrap() as usize;
-    let lanes: Vec<i64> = match base_w {
-        8 => block.u64_lanes().iter().map(|&v| v as i64).collect(),
-        4 => block
-            .u32_lanes()
-            .iter()
-            .map(|&v| i64::from(v as i32))
-            .collect(),
-        2 => block
-            .u16_lanes()
-            .iter()
-            .map(|&v| i64::from(v as i16))
-            .collect(),
-        _ => unreachable!(),
-    };
-    let mut payload = Vec::with_capacity(encoding.compressed_size() as usize);
-    payload.extend_from_slice(&block.bytes()[..base_w]);
-    let base = lanes[0];
-    for &v in &lanes[1..] {
-        let d = v.wrapping_sub(base);
-        payload.extend_from_slice(&d.to_le_bytes()[..delta_w]);
+    let bytes = block.bytes();
+    out[..base_w].copy_from_slice(&bytes[..base_w]);
+    let base = read_lane(bytes, 0, base_w);
+    let mut off = base_w;
+    for lane in 1..BLOCK_SIZE / base_w {
+        let d = read_lane(bytes, lane, base_w).wrapping_sub(base);
+        out[off..off + delta_w].copy_from_slice(&d.to_le_bytes()[..delta_w]);
+        off += delta_w;
     }
-    payload
+}
+
+/// Reads lane `lane` of width `width` from `bytes`, sign-extended to i64.
+fn read_lane(bytes: &[u8; BLOCK_SIZE], lane: usize, width: usize) -> i64 {
+    let off = lane * width;
+    match width {
+        8 => i64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()),
+        4 => i64::from(i32::from_le_bytes(bytes[off..off + 4].try_into().unwrap())),
+        2 => i64::from(i16::from_le_bytes(bytes[off..off + 2].try_into().unwrap())),
+        _ => unreachable!(),
+    }
 }
 
 fn decompress_base_delta(encoding: Encoding, payload: &[u8]) -> Block {
     let base_w = encoding.base_width().unwrap() as usize;
     let delta_w = encoding.delta_width().unwrap() as usize;
-    let n_lanes = 64 / base_w;
+    let n_lanes = BLOCK_SIZE / base_w;
 
     let mut base_bytes = [0u8; 8];
     base_bytes[..base_w].copy_from_slice(&payload[..base_w]);
@@ -211,16 +305,16 @@ fn decompress_base_delta(encoding: Encoding, payload: &[u8]) -> Block {
         _ => unreachable!(),
     };
 
-    let mut lanes = vec![base];
+    let mut lanes = [0i64; BLOCK_SIZE / 2];
+    lanes[0] = base;
     let mut off = base_w;
-    for _ in 1..n_lanes {
+    for lane in lanes[1..n_lanes].iter_mut() {
         let mut d_bytes = [0u8; 8];
         d_bytes[..delta_w].copy_from_slice(&payload[off..off + delta_w]);
         // Sign-extend the delta.
-        let mut d = i64::from_le_bytes(d_bytes);
         let shift = 64 - 8 * delta_w;
-        d = (d << shift) >> shift;
-        lanes.push(base.wrapping_add(d));
+        let d = (i64::from_le_bytes(d_bytes) << shift) >> shift;
+        *lane = base.wrapping_add(d);
         off += delta_w;
     }
 
@@ -240,6 +334,86 @@ mod tests {
         let cb = Compressor::new().compress(&block);
         assert_eq!(cb.decompress(), block, "round trip failed for {block:?}");
         cb.encoding()
+    }
+
+    /// The pre-probe oracle: per-encoding applicability by re-scanning the
+    /// block, exactly as the original multi-pass implementation did. The
+    /// probe must agree with an exhaustive minimum-size search over this.
+    fn applies(encoding: Encoding, block: &Block) -> bool {
+        fn fits<const N: usize>(lanes: &[i64; N], min: i64, max: i64) -> bool {
+            let base = lanes[0];
+            lanes[1..]
+                .iter()
+                .all(|&v| matches!(v.wrapping_sub(base), d if d >= min && d <= max))
+        }
+        match encoding {
+            Encoding::Uncompressed => true,
+            Encoding::Zeros => block.is_zero(),
+            Encoding::Repeated => {
+                let lanes = block.u64_lanes();
+                lanes.iter().all(|&v| v == lanes[0])
+            }
+            e => {
+                let delta = i64::from(e.delta_width().unwrap());
+                let max = (1i64 << (8 * delta - 1)) - 1;
+                let min = -(1i64 << (8 * delta - 1));
+                match e.base_width().unwrap() {
+                    8 => fits::<8>(&block.u64_lanes().map(|v| v as i64), min, max),
+                    4 => fits::<16>(&block.u32_lanes().map(|v| i64::from(v as i32)), min, max),
+                    2 => fits::<32>(&block.u16_lanes().map(|v| i64::from(v as i16)), min, max),
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// Exhaustive minimum-size search over the oracle.
+    fn oracle_best(block: &Block) -> Encoding {
+        let mut best = Encoding::Uncompressed;
+        for e in Encoding::ALL {
+            if e.compressed_size() < best.compressed_size() && applies(e, block) {
+                best = e;
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn probe_agrees_with_exhaustive_search() {
+        let c = Compressor::new();
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        for round in 0..2000u64 {
+            let mut bytes = [0u8; 64];
+            for b in bytes.iter_mut() {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                *b = (x >> 56) as u8;
+            }
+            // Alternate raw noise with clustered variants that actually
+            // exercise the base/delta encodings.
+            if round % 2 == 1 {
+                let spread = 1u64 << (round % 60);
+                let base = x;
+                let lanes: [u64; 8] =
+                    core::array::from_fn(|i| base.wrapping_add((x >> (i * 7)) % spread.max(2)));
+                bytes = *Block::from_u64_lanes(lanes).bytes();
+            }
+            let block = Block::new(bytes);
+            assert_eq!(
+                c.probe(block.bytes()),
+                oracle_best(&block),
+                "probe diverged on {block:?}"
+            );
+        }
+        // The structured corners.
+        for block in [
+            Block::zeroed(),
+            Block::from_u64_lanes([u64::MAX; 8]),
+            Block::from_u64_lanes([i64::MIN as u64, i64::MAX as u64, 0, 1, 2, 3, 4, 5]),
+        ] {
+            assert_eq!(c.probe(block.bytes()), oracle_best(&block));
+        }
     }
 
     #[test]
@@ -352,8 +526,15 @@ mod tests {
 
     #[test]
     fn from_parts_validates_length() {
-        assert!(CompressedBlock::from_parts(Encoding::Zeros, vec![0]).is_some());
-        assert!(CompressedBlock::from_parts(Encoding::Zeros, vec![0, 0]).is_none());
+        assert!(CompressedBlock::from_parts(Encoding::Zeros, &[0]).is_some());
+        assert!(CompressedBlock::from_parts(Encoding::Zeros, &[0, 0]).is_none());
+    }
+
+    #[test]
+    fn payload_length_matches_encoding() {
+        let c = Compressor::new();
+        let cb = c.compress(&Block::from_u64_lanes([5000, 5001, 5002, 5003, 5, 6, 7, 8]));
+        assert_eq!(cb.payload().len(), cb.size() as usize);
     }
 
     #[test]
@@ -370,6 +551,21 @@ mod tests {
             }
             let blk = Block::new(bytes);
             assert_eq!(c.compressed_size(&blk), c.compress(&blk).size());
+            assert_eq!(c.probe_size(blk.bytes()), c.compress(&blk).size());
+        }
+    }
+
+    #[test]
+    fn min_delta_width_boundaries() {
+        assert_eq!(min_delta_width(0, 0), 1);
+        assert_eq!(min_delta_width(-128, 127), 1);
+        assert_eq!(min_delta_width(-129, 0), 2);
+        assert_eq!(min_delta_width(0, 128), 2);
+        assert_eq!(min_delta_width(i64::MIN, i64::MAX), 8);
+        for w in 1..=7u8 {
+            let hi = (1i64 << (8 * w - 1)) - 1;
+            assert_eq!(min_delta_width(-hi - 1, hi), w);
+            assert_eq!(min_delta_width(0, hi + 1), w + 1);
         }
     }
 

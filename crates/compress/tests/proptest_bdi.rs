@@ -19,6 +19,64 @@ fn arb_clustered_block() -> impl Strategy<Value = Block> {
         })
 }
 
+/// Blocks spanning every encoding family in Table I: zeros, repeated, each
+/// B8Δd width, each B4Δd width, B2Δ1, and incompressible noise — so the
+/// probe/compress equivalence and round-trip properties are exercised
+/// across all encodings, not just whatever random bytes happen to hit.
+fn arb_any_encoding_block() -> impl Strategy<Value = Block> {
+    let b8 = (
+        1u32..=7,
+        any::<u64>(),
+        prop::collection::vec(any::<i64>(), 8),
+    )
+        .prop_map(|(d, base, jit)| {
+            let bound = (1i64 << (8 * d - 1)) - 1;
+            let lanes: [u64; 8] = core::array::from_fn(|i| {
+                if i == 0 {
+                    base
+                } else {
+                    base.wrapping_add((jit[i] % (bound + 1)) as u64)
+                }
+            });
+            Block::from_u64_lanes(lanes)
+        });
+    let b4 = (
+        1u32..=3,
+        any::<u32>(),
+        prop::collection::vec(any::<i64>(), 16),
+    )
+        .prop_map(|(d, base, jit)| {
+            let bound = (1i64 << (8 * d - 1)) - 1;
+            let lanes: [u32; 16] = core::array::from_fn(|i| {
+                if i == 0 {
+                    base
+                } else {
+                    base.wrapping_add((jit[i] % (bound + 1)) as u32)
+                }
+            });
+            Block::from_u32_lanes(lanes)
+        });
+    let b2 = (any::<u64>(), prop::collection::vec(-128i64..=127, 32)).prop_map(|(base, jit)| {
+        let base = base as u16;
+        let lanes: [u16; 32] = core::array::from_fn(|i| {
+            if i == 0 {
+                base
+            } else {
+                base.wrapping_add(jit[i] as u16)
+            }
+        });
+        Block::from_u16_lanes(lanes)
+    });
+    prop_oneof![
+        Just(Block::zeroed()),
+        any::<u64>().prop_map(|v| Block::from_u64_lanes([v; 8])),
+        b8,
+        b4,
+        b2,
+        arb_block(),
+    ]
+}
+
 proptest! {
     /// Any 64-byte block round-trips exactly.
     #[test]
@@ -42,6 +100,17 @@ proptest! {
     fn size_fast_path_agrees(block in arb_block()) {
         let c = Compressor::new();
         prop_assert_eq!(c.compressed_size(&block), c.compress(&block).size());
+    }
+
+    /// The one-pass probe computes the same size as the data path, and the
+    /// data path round-trips, across blocks spanning every Table I encoding.
+    #[test]
+    fn probe_matches_compress_across_all_encodings(block in arb_any_encoding_block()) {
+        let c = Compressor::new();
+        let cb = c.compress(&block);
+        prop_assert_eq!(c.probe_size(block.bytes()), cb.size());
+        prop_assert_eq!(c.probe(block.bytes()), cb.encoding());
+        prop_assert_eq!(cb.decompress(), block);
     }
 
     /// The chosen encoding is minimal: no other applicable encoding is
@@ -76,7 +145,7 @@ proptest! {
     #[test]
     fn parts_round_trip(block in arb_block()) {
         let cb = Compressor::new().compress(&block);
-        let rebuilt = CompressedBlock::from_parts(cb.encoding(), cb.payload().to_vec()).unwrap();
+        let rebuilt = CompressedBlock::from_parts(cb.encoding(), cb.payload()).unwrap();
         prop_assert_eq!(rebuilt.decompress(), block);
     }
 

@@ -13,6 +13,11 @@ pub const CP_TH_CANDIDATES: [u8; 6] = [30, 37, 44, 51, 58, 64];
 /// Default Set Dueling epoch: 2 M cycles (§IV-C).
 pub const DEFAULT_EPOCH_CYCLES: u64 = 2_000_000;
 
+/// Most-recent epochs retained in the sampler history ring. Older records
+/// are overwritten, so a long run's dueling state stays bounded instead of
+/// growing by one [`EpochRecord`] per epoch for the whole simulation.
+pub const HISTORY_EPOCHS: usize = 256;
+
 /// Per-epoch sampler outcome, kept for the Figure 8 analyses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EpochRecord {
@@ -73,7 +78,11 @@ pub struct SetDueling {
     writes_acc: [f64; CP_TH_CANDIDATES.len()],
     smoothing: f64,
     winner: usize,
+    /// Ring of the last [`HISTORY_EPOCHS`] epoch records; once full,
+    /// `history_head` is the oldest entry and new records overwrite it.
     history: Vec<EpochRecord>,
+    history_head: usize,
+    epochs_total: u64,
 }
 
 impl SetDueling {
@@ -99,6 +108,8 @@ impl SetDueling {
             // Start from CP_th = 58, the statically best value (§IV-A).
             winner: 4,
             history: Vec::new(),
+            history_head: 0,
+            epochs_total: 0,
         }
     }
 
@@ -162,11 +173,18 @@ impl SetDueling {
             self.writes_acc[k] = self.writes_acc[k] * self.smoothing + self.writes[k] as f64;
         }
         self.winner = self.select_winner();
-        self.history.push(EpochRecord {
+        let record = EpochRecord {
             hits: self.hits,
             writes: self.writes,
             winner: self.winner,
-        });
+        };
+        if self.history.len() < HISTORY_EPOCHS {
+            self.history.push(record);
+        } else {
+            self.history[self.history_head] = record;
+            self.history_head = (self.history_head + 1) % HISTORY_EPOCHS;
+        }
+        self.epochs_total += 1;
         self.hits = [0; CP_TH_CANDIDATES.len()];
         self.writes = [0; CP_TH_CANDIDATES.len()];
         // Skip ahead over any fully idle epochs.
@@ -203,14 +221,32 @@ impl SetDueling {
         i
     }
 
-    /// The per-epoch sampler history.
-    pub fn history(&self) -> &[EpochRecord] {
-        &self.history
+    /// The retained per-epoch sampler history in chronological order —
+    /// the last [`HISTORY_EPOCHS`] epochs at most (see
+    /// [`epochs_total`](Self::epochs_total) for the lifetime count).
+    pub fn history(&self) -> Vec<EpochRecord> {
+        let mut out = Vec::with_capacity(self.history.len());
+        out.extend_from_slice(&self.history[self.history_head..]);
+        out.extend_from_slice(&self.history[..self.history_head]);
+        out
     }
 
-    /// Drops the recorded history (frees memory in long runs).
+    /// Number of epoch records currently retained in the ring
+    /// (`min(epochs_total, HISTORY_EPOCHS)`).
+    pub fn epochs_retained(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Total epochs completed over the run, including those whose records
+    /// have been overwritten in the ring.
+    pub fn epochs_total(&self) -> u64 {
+        self.epochs_total
+    }
+
+    /// Drops the recorded history (the lifetime epoch count is kept).
     pub fn clear_history(&mut self) {
         self.history.clear();
+        self.history_head = 0;
     }
 }
 
@@ -314,6 +350,30 @@ mod tests {
         assert!(sd.maybe_epoch(350)); // skips two idle boundaries
         assert!(!sd.maybe_epoch(399));
         assert!(sd.maybe_epoch(400));
+    }
+
+    #[test]
+    fn history_ring_retains_only_the_most_recent_window() {
+        let mut sd = SetDueling::new(0.0, 5.0, 100);
+        let total = HISTORY_EPOCHS as u64 + 10;
+        for e in 0..total {
+            // Vary the hit count so each epoch's record is distinguishable.
+            for _ in 0..=(e % 7) {
+                sd.record_hit(1);
+            }
+            assert!(sd.maybe_epoch((e + 1) * 100));
+        }
+        assert_eq!(sd.epochs_total(), total);
+        assert_eq!(sd.epochs_retained(), HISTORY_EPOCHS);
+        let history = sd.history();
+        assert_eq!(history.len(), HISTORY_EPOCHS);
+        // Chronological: the oldest retained record is epoch 10, the newest
+        // is the final epoch.
+        assert_eq!(history[0].hits[1], 10 % 7 + 1);
+        assert_eq!(history[HISTORY_EPOCHS - 1].hits[1], (total - 1) % 7 + 1);
+        sd.clear_history();
+        assert_eq!(sd.epochs_retained(), 0);
+        assert_eq!(sd.epochs_total(), total);
     }
 
     #[test]

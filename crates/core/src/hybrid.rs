@@ -3,6 +3,11 @@
 //! One structure implements every policy of Table III; the policy value
 //! selects the insertion target, the replacement flavour (LRU, Fit-LRU,
 //! global vs local), the migration behaviour, and the reuse tagging rules.
+//!
+//! Way metadata is stored struct-of-arrays (see [`crate::soa`]): tag
+//! probes and LRU sweeps are linear scans over contiguous per-field lanes
+//! rather than strides over `Option<LineState>` entries, which is what
+//! makes the per-access kernel cache-friendly.
 
 use hllc_nvm::NvmArray;
 use hllc_sim::{set_index, DataModel, LlcPort, LlcReq, LlcResponse, LlcStats, ReuseClass};
@@ -13,6 +18,7 @@ use crate::config::HybridConfig;
 use crate::dueling::SetDueling;
 use crate::line::LineState;
 use crate::policy::Policy;
+use crate::soa::WayArray;
 
 /// Which half of a hybrid set a block lives in.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -33,8 +39,8 @@ pub struct HybridLlc {
     sram_ways: usize,
     nvm_ways: usize,
     policy: Policy,
-    sram: Vec<Option<LineState>>,
-    nvm: Vec<Option<LineState>>,
+    sram: WayArray,
+    nvm: WayArray,
     array: Option<NvmArray>,
     dueling: Option<SetDueling>,
     /// TAP's thrashing predictor: a hashed table of saturating per-block
@@ -110,8 +116,8 @@ impl HybridLlc {
             sram_ways: cfg.sram_ways,
             nvm_ways: cfg.nvm_ways,
             policy: cfg.policy,
-            sram: vec![None; cfg.sets * cfg.sram_ways],
-            nvm: vec![None; cfg.sets * cfg.nvm_ways],
+            sram: WayArray::new(cfg.sets, cfg.sram_ways),
+            nvm: WayArray::new(cfg.sets, cfg.nvm_ways),
             array,
             dueling,
             tap_table,
@@ -168,8 +174,8 @@ impl HybridLlc {
     /// kept). Dirty contents are dropped — callers model the writeback
     /// traffic themselves if they need it.
     pub fn clear_contents(&mut self) {
-        self.sram.iter_mut().for_each(|l| *l = None);
-        self.nvm.iter_mut().for_each(|l| *l = None);
+        self.sram.clear();
+        self.nvm.clear();
     }
 
     fn next_stamp(&mut self) -> u64 {
@@ -177,39 +183,27 @@ impl HybridLlc {
         self.stamp
     }
 
-    fn line(&self, part: Part, set: usize, way: usize) -> &Option<LineState> {
+    fn part(&self, part: Part) -> &WayArray {
         match part {
-            Part::Sram => &self.sram[set * self.sram_ways + way],
-            Part::Nvm => &self.nvm[set * self.nvm_ways + way],
+            Part::Sram => &self.sram,
+            Part::Nvm => &self.nvm,
         }
     }
 
-    fn line_mut(&mut self, part: Part, set: usize, way: usize) -> &mut Option<LineState> {
+    fn part_mut(&mut self, part: Part) -> &mut WayArray {
         match part {
-            Part::Sram => &mut self.sram[set * self.sram_ways + way],
-            Part::Nvm => &mut self.nvm[set * self.nvm_ways + way],
+            Part::Sram => &mut self.sram,
+            Part::Nvm => &mut self.nvm,
         }
     }
 
     /// Looks up a resident block.
     fn find(&self, set: usize, block: u64) -> Option<(Part, usize)> {
-        for way in 0..self.sram_ways {
-            if self
-                .line(Part::Sram, set, way)
-                .as_ref()
-                .is_some_and(|l| l.block == block)
-            {
-                return Some((Part::Sram, way));
-            }
+        if let Some(way) = self.sram.find(set, block) {
+            return Some((Part::Sram, way));
         }
-        for way in 0..self.nvm_ways {
-            if self
-                .line(Part::Nvm, set, way)
-                .as_ref()
-                .is_some_and(|l| l.block == block)
-            {
-                return Some((Part::Nvm, way));
-            }
+        if let Some(way) = self.nvm.find(set, block) {
+            return Some((Part::Nvm, way));
         }
         None
     }
@@ -230,11 +224,12 @@ impl HybridLlc {
         self.find(set_index(block, self.sets), block)
     }
 
-    /// The resident line for `block`, if any (diagnostics).
-    pub fn peek(&self, block: u64) -> Option<&LineState> {
+    /// The resident line for `block`, if any (diagnostics; gathered by
+    /// value from the metadata lanes).
+    pub fn peek(&self, block: u64) -> Option<LineState> {
         let set = set_index(block, self.sets);
         self.find(set, block)
-            .and_then(|(p, w)| self.line(p, set, w).as_ref())
+            .and_then(|(p, w)| self.part(p).get(set, w))
     }
 
     fn maybe_epoch(&mut self, now: u64) {
@@ -261,25 +256,26 @@ impl HybridLlc {
         (block.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48) as usize % TAP_TABLE_ENTRIES
     }
 
-    /// Updates TAP's thrashing predictor on a hit and returns the block's
-    /// cumulative (hashed) hit count.
-    fn tap_observe(&mut self, block: u64, line: &LineState, req: LlcReq) -> u32 {
+    /// Updates TAP's thrashing predictor on a hit to a line with dirtiness
+    /// `dirty` and returns the block's cumulative (hashed) hit count.
+    fn tap_observe(&mut self, block: u64, dirty: bool, req: LlcReq) -> u32 {
         let slot = Self::tap_slot(block);
-        if req == LlcReq::GetS && !line.dirty {
+        if req == LlcReq::GetS && !dirty {
             self.tap_table[slot] = self.tap_table[slot].saturating_add(1);
         }
         u32::from(self.tap_table[slot])
     }
 
     /// Reuse tag handed back on a hit, per the policy's classification
-    /// rules (§IV-B; LHybrid/TAP per §II-C). `tap_count` is the block's
-    /// cumulative predictor count (TAP only).
-    fn classify_hit(&self, line: &LineState, req: LlcReq, tap_count: u32) -> ReuseClass {
+    /// rules (§IV-B; LHybrid/TAP per §II-C). `dirty` is the hit line's
+    /// dirtiness; `tap_count` is the block's cumulative predictor count
+    /// (TAP only).
+    fn classify_hit(&self, dirty: bool, req: LlcReq, tap_count: u32) -> ReuseClass {
         match self.policy {
             Policy::CaRwr { .. } | Policy::CpSd { .. } => match req {
                 LlcReq::GetX => ReuseClass::Write,
                 LlcReq::GetS => {
-                    if line.dirty {
+                    if dirty {
                         ReuseClass::Write
                     } else {
                         ReuseClass::Read
@@ -287,11 +283,11 @@ impl HybridLlc {
                 }
             },
             Policy::LHybrid => match req {
-                LlcReq::GetS if !line.dirty => ReuseClass::Read,
+                LlcReq::GetS if !dirty => ReuseClass::Read,
                 _ => ReuseClass::None,
             },
             Policy::Tap { hit_threshold } => match req {
-                LlcReq::GetS if !line.dirty && tap_count >= hit_threshold => ReuseClass::Read,
+                LlcReq::GetS if !dirty && tap_count >= hit_threshold => ReuseClass::Read,
                 _ => ReuseClass::None,
             },
             Policy::Bh | Policy::BhCp | Policy::Ca { .. } => ReuseClass::None,
@@ -346,57 +342,69 @@ impl HybridLlc {
     /// With `fit_lru` disabled (ablation), the plain LRU frame is chosen
     /// first and returned only if the block happens to fit it — modelling a
     /// fault-oblivious replacement that wastes partially-disabled frames.
+    ///
+    /// Both sweeps are branch-light linear scans over the occupancy word
+    /// and the LRU stamp lane.
     fn pick_nvm_way(&self, set: usize, ecb: usize) -> Option<usize> {
         let array = self.array.as_ref()?;
+        // One bounds check per lane, then the sweep reads contiguous bytes.
+        let caps = array.capacity_lane(set);
+        let valid = self.nvm.valid_mask(set);
+        let stamps = self.nvm.lru_lane(set);
         if !self.fit_lru {
             let mut lru_way = None;
             let mut lru_stamp = u64::MAX;
-            for way in 0..self.nvm_ways {
-                if array.effective_capacity(set, way) == 0 {
+            for (way, cap) in caps.iter().enumerate() {
+                let cap = cap.get() as usize;
+                if cap == 0 {
                     continue; // dead frames are skipped even without Fit-LRU
                 }
-                match self.line(Part::Nvm, set, way) {
-                    None if array.fits(set, way, ecb) => return Some(way),
-                    None => {}
-                    Some(l) if l.lru < lru_stamp => {
-                        lru_stamp = l.lru;
-                        lru_way = Some(way);
+                if valid & (1u64 << way) == 0 {
+                    if ecb <= cap {
+                        return Some(way);
                     }
-                    Some(_) => {}
+                    continue;
+                }
+                let stamp = stamps[way];
+                if stamp < lru_stamp {
+                    lru_stamp = stamp;
+                    lru_way = Some(way);
                 }
             }
-            return lru_way.filter(|&w| array.fits(set, w, ecb));
+            return lru_way.filter(|&w| ecb <= caps[w].get() as usize);
         }
         let mut lru_way = None;
         let mut lru_stamp = u64::MAX;
-        for way in 0..self.nvm_ways {
-            if !array.fits(set, way, ecb) {
+        for (way, cap) in caps.iter().enumerate() {
+            if ecb > cap.get() as usize {
                 continue;
             }
-            match self.line(Part::Nvm, set, way) {
-                None => return Some(way),
-                Some(l) if l.lru < lru_stamp => {
-                    lru_stamp = l.lru;
-                    lru_way = Some(way);
-                }
-                Some(_) => {}
+            if valid & (1u64 << way) == 0 {
+                return Some(way);
+            }
+            let stamp = stamps[way];
+            if stamp < lru_stamp {
+                lru_stamp = stamp;
+                lru_way = Some(way);
             }
         }
         lru_way
     }
 
-    /// Plain-LRU victim selection in the SRAM part.
+    /// Plain-LRU victim selection in the SRAM part: one sweep over the
+    /// occupancy word and the stamp lane.
     fn pick_sram_way(&self, set: usize) -> Option<usize> {
+        let valid = self.sram.valid_mask(set);
+        let free = !valid & (((1u128 << self.sram_ways) - 1) as u64);
+        if free != 0 {
+            return Some(free.trailing_zeros() as usize);
+        }
         let mut lru_way = None;
         let mut lru_stamp = u64::MAX;
-        for way in 0..self.sram_ways {
-            match self.line(Part::Sram, set, way) {
-                None => return Some(way),
-                Some(l) if l.lru < lru_stamp => {
-                    lru_stamp = l.lru;
-                    lru_way = Some(way);
-                }
-                Some(_) => {}
+        for (way, &stamp) in self.sram.lru_lane(set).iter().enumerate() {
+            if stamp < lru_stamp {
+                lru_stamp = stamp;
+                lru_way = Some(way);
             }
         }
         lru_way
@@ -404,7 +412,7 @@ impl HybridLlc {
 
     /// Removes a line and returns it.
     fn take(&mut self, part: Part, set: usize, way: usize) -> Option<LineState> {
-        self.line_mut(part, set, way).take()
+        self.part_mut(part).take(set, way)
     }
 
     /// Drops an evicted line, recording the writeback if it was dirty.
@@ -445,13 +453,13 @@ impl HybridLlc {
             let busy = &mut self.bank_busy_until[bank];
             *busy = (*busy).max(clock) + u64::from(self.nvm_write_cycles);
         }
-        *self.line_mut(Part::Nvm, set, way) = Some(line);
+        self.nvm.put(set, way, line);
     }
 
     /// Writes `line` into an SRAM way, with accounting.
     fn commit_sram(&mut self, set: usize, way: usize, line: LineState) {
         self.stats.sram_inserts += 1;
-        *self.line_mut(Part::Sram, set, way) = Some(line);
+        self.sram.put(set, way, line);
     }
 
     /// Inserts into the NVM part via Fit-LRU. Falls back to SRAM when no
@@ -494,8 +502,7 @@ impl HybridLlc {
         if self.policy == Policy::LHybrid {
             if let Some(lb_way) = self.most_recent_lb_way(set) {
                 // Only migrate when SRAM is actually full.
-                let has_empty =
-                    (0..self.sram_ways).any(|w| self.line(Part::Sram, set, w).is_none());
+                let has_empty = (0..self.sram_ways).any(|w| !self.sram.is_valid(set, w));
                 if !has_empty {
                     let lb = self.take(Part::Sram, set, lb_way).unwrap();
                     self.place_nvm(now, set, lb, true);
@@ -522,9 +529,13 @@ impl HybridLlc {
     fn most_recent_lb_way(&self, set: usize) -> Option<usize> {
         let mut best: Option<(usize, u64)> = None;
         for way in 0..self.sram_ways {
-            if let Some(l) = self.line(Part::Sram, set, way) {
-                if l.reuse == ReuseClass::Read && best.is_none_or(|(_, s)| l.lru > s) {
-                    best = Some((way, l.lru));
+            if !self.sram.is_valid(set, way) {
+                continue;
+            }
+            if self.sram.reuse(set, way) == ReuseClass::Read {
+                let stamp = self.sram.lru(set, way);
+                if best.is_none_or(|(_, s)| stamp > s) {
+                    best = Some((way, stamp));
                 }
             }
         }
@@ -545,16 +556,14 @@ impl HybridLlc {
         let mut chosen_stamp = u64::MAX;
         let mut empty: Option<(Part, usize)> = None;
         for way in 0..self.sram_ways {
-            match self.line(Part::Sram, set, way) {
-                None => {
-                    empty = Some((Part::Sram, way));
-                    break;
-                }
-                Some(l) if l.lru < chosen_stamp => {
-                    chosen_stamp = l.lru;
-                    chosen = Some((Part::Sram, way));
-                }
-                Some(_) => {}
+            if !self.sram.is_valid(set, way) {
+                empty = Some((Part::Sram, way));
+                break;
+            }
+            let stamp = self.sram.lru(set, way);
+            if stamp < chosen_stamp {
+                chosen_stamp = stamp;
+                chosen = Some((Part::Sram, way));
             }
         }
         if empty.is_none() {
@@ -563,16 +572,14 @@ impl HybridLlc {
                 if !array.is_some_and(|a| a.fits(set, way, ecb)) {
                     continue;
                 }
-                match self.line(Part::Nvm, set, way) {
-                    None => {
-                        empty = Some((Part::Nvm, way));
-                        break;
-                    }
-                    Some(l) if l.lru < chosen_stamp => {
-                        chosen_stamp = l.lru;
-                        chosen = Some((Part::Nvm, way));
-                    }
-                    Some(_) => {}
+                if !self.nvm.is_valid(set, way) {
+                    empty = Some((Part::Nvm, way));
+                    break;
+                }
+                let stamp = self.nvm.lru(set, way);
+                if stamp < chosen_stamp {
+                    chosen_stamp = stamp;
+                    chosen = Some((Part::Nvm, way));
                 }
             }
         }
@@ -621,18 +628,16 @@ impl LlcPort for HybridLlc {
         }
 
         let stamp = self.next_stamp();
-        let line_snapshot = {
-            let line = self.line_mut(part, set, way).as_mut().expect("hit line");
-            line.hits += 1;
-            *line
-        };
+        self.part_mut(part).bump_hits(set, way);
+        let dirty = self.part(part).dirty(set, way);
         let tap_count = match self.policy {
-            Policy::Tap { .. } => self.tap_observe(block, &line_snapshot, req),
+            Policy::Tap { .. } => self.tap_observe(block, dirty, req),
             _ => 0,
         };
-        let reuse = self.classify_hit(&line_snapshot, req, tap_count);
-        let compressed =
-            part == Part::Nvm && self.policy.uses_compression() && line_snapshot.cb_size < 64;
+        let reuse = self.classify_hit(dirty, req, tap_count);
+        let compressed = part == Part::Nvm
+            && self.policy.uses_compression()
+            && self.part(part).cb_size(set, way) < 64;
         let extra_cycles = if part == Part::Nvm && self.nvm_write_cycles > 0 {
             self.clock = self.clock.max(now);
             // Wait for the in-flight write; capped at one write duration so
@@ -651,9 +656,9 @@ impl LlcPort for HybridLlc {
                 self.take(part, set, way);
             }
             LlcReq::GetS => {
-                let line = self.line_mut(part, set, way).as_mut().unwrap();
-                line.lru = stamp;
-                line.reuse = reuse;
+                let p = self.part_mut(part);
+                p.touch(set, way, stamp);
+                p.set_reuse(set, way, reuse);
             }
         }
 
@@ -682,7 +687,7 @@ impl LlcPort for HybridLlc {
                 // Clean copy already resident: refresh LRU only ("written if
                 // it was not there", §III-A).
                 let stamp = self.next_stamp();
-                self.line_mut(part, set, way).as_mut().unwrap().lru = stamp;
+                self.part_mut(part).touch(set, way, stamp);
                 return;
             }
             // Stale resident copy vs dirty incoming data: replace it.

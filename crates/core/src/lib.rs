@@ -37,9 +37,12 @@ mod dueling;
 mod hybrid;
 mod line;
 mod policy;
+mod soa;
 
 pub use config::HybridConfig;
-pub use dueling::{EpochRecord, SetDueling, CP_TH_CANDIDATES, DEFAULT_EPOCH_CYCLES};
+pub use dueling::{
+    EpochRecord, SetDueling, CP_TH_CANDIDATES, DEFAULT_EPOCH_CYCLES, HISTORY_EPOCHS,
+};
 pub use hybrid::{HybridLlc, Part};
 pub use line::LineState;
 pub use policy::Policy;

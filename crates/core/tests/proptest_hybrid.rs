@@ -197,7 +197,7 @@ proptest! {
         }
         for block in 0u64..64 {
             if let Some((hllc_core::Part::Nvm, way)) = llc.locate_way(block) {
-                let line = *llc.peek(block).unwrap();
+                let line = llc.peek(block).unwrap();
                 let set = (block as usize) % SETS;
                 let capacity = llc.array().unwrap().effective_capacity(set, way);
                 prop_assert!(

@@ -109,11 +109,7 @@ pub fn run_phase_streams<S: RefSource, D: DataModel>(
 
     let ipc = h.system_ipc();
     let llc_stats = *h.llc().stats();
-    let epochs = h
-        .llc()
-        .dueling()
-        .map(|d| d.history().to_vec())
-        .unwrap_or_default();
+    let epochs = h.llc().dueling().map(|d| d.history()).unwrap_or_default();
     let frame_bytes_written = h
         .llc_mut()
         .array_mut()

@@ -1,10 +1,16 @@
 //! The NVM portion of the LLC data array.
 
+use std::cell::Cell;
+
 use rand::Rng;
 
 use crate::endurance::EnduranceModel;
 use crate::fault_map::FRAME_BYTES;
 use crate::frame::{Frame, WearEvent};
+
+/// Sentinel in the capacity lane: the cached value must be recomputed from
+/// the frame's fault map on the next query.
+const CAP_DIRTY: u8 = u8::MAX;
 
 /// Hard-fault disabling granularity (Table III).
 ///
@@ -51,6 +57,11 @@ pub struct NvmArray {
     granularity: DisableGranularity,
     frames: Vec<Frame>,
     disabled: Vec<bool>,
+    /// Cached effective capacity per frame (one byte each) so that
+    /// way-selection sweeps read a contiguous lane instead of touching every
+    /// frame's fault map. Entries invalidated by wear or by the `frame_mut`
+    /// escape hatch hold [`CAP_DIRTY`] and are recomputed lazily.
+    capacity: Vec<Cell<u8>>,
     /// Bytes written per frame since the last `take_pending_writes`.
     pending_byte_writes: Vec<u64>,
     total_writes: u64,
@@ -80,6 +91,7 @@ impl NvmArray {
             granularity,
             frames,
             disabled: vec![false; n],
+            capacity: vec![Cell::new(FRAME_BYTES as u8); n],
             pending_byte_writes: vec![0; n],
             total_writes: 0,
             total_bytes_written: 0,
@@ -101,6 +113,7 @@ impl NvmArray {
         self.granularity
     }
 
+    #[inline]
     fn idx(&self, set: usize, way: usize) -> usize {
         assert!(
             set < self.sets && way < self.ways,
@@ -110,34 +123,66 @@ impl NvmArray {
     }
 
     /// Immutable access to a frame.
+    #[inline]
     pub fn frame(&self, set: usize, way: usize) -> &Frame {
         &self.frames[self.idx(set, way)]
     }
 
-    /// Mutable access to a frame (fault injection, tests).
+    /// Mutable access to a frame (fault injection, tests). Invalidates the
+    /// frame's cached capacity, since the caller may mutate its fault map.
     pub fn frame_mut(&mut self, set: usize, way: usize) -> &mut Frame {
         let i = self.idx(set, way);
+        self.capacity[i].set(CAP_DIRTY);
         &mut self.frames[i]
+    }
+
+    fn compute_capacity(&self, i: usize) -> u8 {
+        if self.disabled[i] {
+            0
+        } else {
+            match self.granularity {
+                DisableGranularity::Byte => self.frames[i].live_bytes() as u8,
+                DisableGranularity::Frame => FRAME_BYTES as u8,
+            }
+        }
     }
 
     /// Effective capacity of a frame in bytes, under the array's disabling
     /// granularity: a frame-disabled frame has zero capacity; otherwise the
     /// live-byte count.
+    #[inline]
     pub fn effective_capacity(&self, set: usize, way: usize) -> usize {
         let i = self.idx(set, way);
-        if self.disabled[i] {
-            0
-        } else {
-            match self.granularity {
-                DisableGranularity::Byte => self.frames[i].live_bytes(),
-                DisableGranularity::Frame => FRAME_BYTES,
-            }
+        let cached = self.capacity[i].get();
+        if cached != CAP_DIRTY {
+            return cached as usize;
         }
+        let fresh = self.compute_capacity(i);
+        self.capacity[i].set(fresh);
+        fresh as usize
     }
 
     /// True if the frame can hold an ECB of `ecb_len` bytes.
+    #[inline]
     pub fn fits(&self, set: usize, way: usize, ecb_len: usize) -> bool {
         ecb_len <= self.effective_capacity(set, way)
+    }
+
+    /// The contiguous effective-capacity lane of `set`, one byte per way —
+    /// victim sweeps read this instead of querying each frame. Dirty entries
+    /// are refreshed before the slice is returned, so every cell holds the
+    /// frame's current capacity.
+    #[inline]
+    pub fn capacity_lane(&self, set: usize) -> &[Cell<u8>] {
+        assert!(set < self.sets, "set {set} out of range");
+        let base = set * self.ways;
+        let lane = &self.capacity[base..base + self.ways];
+        for (way, cap) in lane.iter().enumerate() {
+            if cap.get() == CAP_DIRTY {
+                cap.set(self.compute_capacity(base + way));
+            }
+        }
+        lane
     }
 
     /// Accounts for one block write of `ecb_len` bytes into a frame.
@@ -146,6 +191,7 @@ impl NvmArray {
     /// is accumulated per frame and applied later by the forecast's
     /// prediction phase (`apply_uniform_wear`). Returns the bytes written
     /// (for bandwidth statistics).
+    #[inline]
     pub fn note_write(&mut self, set: usize, way: usize, ecb_len: usize) -> u64 {
         let i = self.idx(set, way);
         debug_assert!(!self.disabled[i], "writing a disabled frame");
@@ -183,6 +229,9 @@ impl NvmArray {
         if self.frames[i].is_dead() {
             self.disabled[i] = true;
         }
+        if !events.is_empty() || self.disabled[i] {
+            self.capacity[i].set(CAP_DIRTY);
+        }
         events
     }
 
@@ -191,6 +240,7 @@ impl NvmArray {
     pub fn disable_frame(&mut self, set: usize, way: usize) {
         let i = self.idx(set, way);
         self.disabled[i] = true;
+        self.capacity[i].set(0);
     }
 
     /// True if the frame has been disabled (dead frame, or frame-granularity
@@ -245,6 +295,7 @@ impl NvmArray {
                         self.frames[i].fault_map().live_indices().collect();
                     let b = live_in_frame[rng.gen_range(0..live_in_frame.len())];
                     self.frames[i].disable_byte(b);
+                    self.capacity[i].set(CAP_DIRTY);
                     live -= 1;
                     if self.frames[i].is_dead() {
                         self.disabled[i] = true;
@@ -259,6 +310,7 @@ impl NvmArray {
                     let i = rng.gen_range(0..total);
                     if !self.disabled[i] {
                         self.disabled[i] = true;
+                        self.capacity[i].set(0);
                         live -= 1;
                     }
                 }
@@ -307,6 +359,23 @@ mod tests {
         assert_eq!(a.capacity_fraction(), 1.0);
         assert!(a.fits(3, 1, 66));
         assert!(!a.fits(3, 1, 67));
+    }
+
+    #[test]
+    fn capacity_cache_tracks_every_mutation_path() {
+        let mut a = small_array(DisableGranularity::Byte);
+        assert_eq!(a.effective_capacity(0, 0), FRAME_BYTES);
+        // Mutation through the escape hatch must invalidate the cache.
+        a.frame_mut(0, 0).disable_byte(3);
+        assert_eq!(a.effective_capacity(0, 0), FRAME_BYTES - 1);
+        // Wear-driven faults (endurance 100 in `small_array`).
+        let events = a.apply_uniform_wear(0, 1, 100.0 * FRAME_BYTES as f64);
+        assert!(!events.is_empty());
+        assert_eq!(a.effective_capacity(0, 1), 0);
+        assert!(a.is_disabled(0, 1));
+        // Administrative frame disabling.
+        a.disable_frame(0, 0);
+        assert_eq!(a.effective_capacity(0, 0), 0);
     }
 
     #[test]

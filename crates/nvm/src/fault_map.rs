@@ -7,8 +7,18 @@ use std::fmt;
 /// 66-bit fault-map entries.
 pub const FRAME_BYTES: usize = 66;
 
+/// Number of `u64` words backing a fault map (`ceil(FRAME_BYTES / 64)`).
+pub const FAULT_WORDS: usize = FRAME_BYTES.div_ceil(64);
+
+/// Mask of the in-range bits of each backing word.
+const WORD_MASKS: [u64; FAULT_WORDS] = [u64::MAX, (1u64 << (FRAME_BYTES - 64)) - 1];
+
 /// A 66-bit fault map for one NVM frame: bit `i` set means byte `i` has a
 /// hard fault and is disabled.
+///
+/// The map is packed into [`FAULT_WORDS`] `u64` words so fault counting is
+/// a popcount per word and live-byte iteration consumes whole words via
+/// `trailing_zeros`, instead of testing all 66 positions one by one.
 ///
 /// # Example
 ///
@@ -23,13 +33,15 @@ pub const FRAME_BYTES: usize = 66;
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FaultMap {
-    bits: u128,
+    words: [u64; FAULT_WORDS],
 }
 
 impl FaultMap {
     /// A fully functional frame (no faulty bytes).
     pub fn new() -> Self {
-        FaultMap { bits: 0 }
+        FaultMap {
+            words: [0; FAULT_WORDS],
+        }
     }
 
     /// Builds a fault map from an iterator of faulty byte indices.
@@ -50,9 +62,10 @@ impl FaultMap {
     /// # Panics
     ///
     /// Panics if `i >= FRAME_BYTES`.
+    #[inline]
     pub fn is_faulty(&self, i: usize) -> bool {
         assert!(i < FRAME_BYTES, "byte index {i} out of range");
-        self.bits >> i & 1 == 1
+        self.words[i >> 6] >> (i & 63) & 1 == 1
     }
 
     /// Marks byte `i` faulty (idempotent).
@@ -60,35 +73,118 @@ impl FaultMap {
     /// # Panics
     ///
     /// Panics if `i >= FRAME_BYTES`.
+    #[inline]
     pub fn mark_faulty(&mut self, i: usize) {
         assert!(i < FRAME_BYTES, "byte index {i} out of range");
-        self.bits |= 1 << i;
+        self.words[i >> 6] |= 1 << (i & 63);
     }
 
     /// Number of non-faulty bytes — the frame's effective capacity for an
-    /// extended compressed block.
+    /// extended compressed block. One popcount per backing word.
+    #[inline]
     pub fn live_bytes(&self) -> usize {
-        FRAME_BYTES - self.bits.count_ones() as usize
+        FRAME_BYTES - self.faulty_bytes()
     }
 
-    /// Number of faulty bytes.
+    /// Number of faulty bytes (popcount over the packed words).
+    #[inline]
     pub fn faulty_bytes(&self) -> usize {
-        self.bits.count_ones() as usize
+        self.words
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum::<usize>()
     }
 
     /// True if every byte is dead.
+    #[inline]
     pub fn is_dead(&self) -> bool {
         self.live_bytes() == 0
     }
 
+    /// The packed fault words (bit set = faulty); bits at and above
+    /// [`FRAME_BYTES`] are always zero.
+    #[inline]
+    pub fn words(&self) -> [u64; FAULT_WORDS] {
+        self.words
+    }
+
+    /// The packed *live* words (bit set = usable byte), complementing
+    /// [`words`](Self::words) within the frame range.
+    #[inline]
+    pub fn live_words(&self) -> [u64; FAULT_WORDS] {
+        let mut live = [0u64; FAULT_WORDS];
+        for (w, l) in live.iter_mut().enumerate() {
+            *l = !self.words[w] & WORD_MASKS[w];
+        }
+        live
+    }
+
     /// Iterator over live (non-faulty) byte indices in ascending order.
-    pub fn live_indices(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..FRAME_BYTES).filter(move |&i| !self.is_faulty(i))
+    pub fn live_indices(&self) -> LiveIndices {
+        self.live_indices_from(0)
+    }
+
+    /// Iterator over live byte indices starting at `offset` (taken modulo
+    /// [`FRAME_BYTES`]) and wrapping around — the circular scan order of
+    /// the rearrangement circuitry. Word-granular: each step pops the next
+    /// set bit of the live mask via `trailing_zeros`.
+    pub fn live_indices_from(&self, offset: usize) -> LiveIndices {
+        let offset = offset % FRAME_BYTES;
+        let live = self.live_words();
+        // Split the live mask into [offset..FRAME_BYTES) and [0..offset):
+        // ascending iteration of the first then the second reproduces the
+        // circular scan.
+        let mut head = [0u64; FAULT_WORDS];
+        let mut tail = [0u64; FAULT_WORDS];
+        for w in 0..FAULT_WORDS {
+            let lo = w * 64;
+            let from_offset = if offset <= lo {
+                u64::MAX
+            } else if offset - lo >= 64 {
+                0
+            } else {
+                u64::MAX << (offset - lo)
+            };
+            head[w] = live[w] & from_offset;
+            tail[w] = live[w] & !from_offset;
+        }
+        LiveIndices {
+            segments: [head, tail],
+            segment: 0,
+        }
     }
 
     /// Raw 66-bit map (bit set = faulty).
+    #[inline]
     pub fn raw(&self) -> u128 {
-        self.bits
+        u128::from(self.words[0]) | u128::from(self.words[1]) << 64
+    }
+}
+
+/// Word-granular iterator over live byte positions (see
+/// [`FaultMap::live_indices_from`]).
+#[derive(Clone, Debug)]
+pub struct LiveIndices {
+    segments: [[u64; FAULT_WORDS]; 2],
+    segment: usize,
+}
+
+impl Iterator for LiveIndices {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.segment < 2 {
+            let words = &mut self.segments[self.segment];
+            for (w, word) in words.iter_mut().enumerate() {
+                if *word != 0 {
+                    let bit = word.trailing_zeros() as usize;
+                    *word &= *word - 1;
+                    return Some(w * 64 + bit);
+                }
+            }
+            self.segment += 1;
+        }
+        None
     }
 }
 
@@ -153,6 +249,37 @@ mod tests {
         let fm = FaultMap::from_faulty(0..FRAME_BYTES);
         assert!(fm.is_dead());
         assert_eq!(fm.live_indices().count(), 0);
+    }
+
+    #[test]
+    fn words_and_raw_agree() {
+        let fm = FaultMap::from_faulty([0, 63, 64, 65]);
+        let words = fm.words();
+        assert_eq!(words[0], 1 | 1 << 63);
+        assert_eq!(words[1], 0b11);
+        assert_eq!(fm.raw(), u128::from(words[0]) | u128::from(words[1]) << 64);
+        let live = fm.live_words();
+        assert_eq!(live[0], !words[0]);
+        assert_eq!(live[1], 0);
+        assert_eq!(
+            (live[0].count_ones() + live[1].count_ones()) as usize,
+            fm.live_bytes()
+        );
+    }
+
+    #[test]
+    fn live_indices_from_wraps_circularly() {
+        let fm = FaultMap::from_faulty([2, 5, 64]);
+        // Offset 3: scan 3,4,(5 faulty),6..63,(64 faulty),65 then 0,1,(2),..
+        let order: Vec<usize> = fm.live_indices_from(3).collect();
+        assert_eq!(order.len(), fm.live_bytes());
+        assert_eq!(&order[..4], &[3, 4, 6, 7]);
+        assert_eq!(order[order.len() - 3..], [65, 0, 1]);
+        // Offsets beyond the frame wrap modulo FRAME_BYTES.
+        let wrapped: Vec<usize> = fm.live_indices_from(3 + FRAME_BYTES).collect();
+        assert_eq!(order, wrapped);
+        // Offset in the second word starts there.
+        assert_eq!(fm.live_indices_from(65).next(), Some(65));
     }
 
     #[test]

@@ -64,21 +64,25 @@ impl Frame {
     }
 
     /// The frame's current fault map.
+    #[inline]
     pub fn fault_map(&self) -> &FaultMap {
         &self.fault_map
     }
 
     /// Number of live bytes (effective capacity in bytes).
+    #[inline]
     pub fn live_bytes(&self) -> usize {
         self.fault_map.live_bytes()
     }
 
     /// True if an ECB of `ecb_len` bytes fits in this frame.
+    #[inline]
     pub fn fits(&self, ecb_len: usize) -> bool {
         ecb_len <= self.live_bytes()
     }
 
     /// True if every byte has failed.
+    #[inline]
     pub fn is_dead(&self) -> bool {
         self.fault_map.is_dead()
     }
@@ -101,9 +105,16 @@ impl Frame {
     /// byte `i` written), as produced by the rearrangement circuitry.
     /// Returns the bytes that failed as a result.
     pub fn record_write(&mut self, mask: u128) -> Vec<WearEvent> {
+        // Faulty bytes absorb no wear: drop them from the mask a whole
+        // word at a time, then walk the surviving bits.
+        let live = self.fault_map.live_words();
+        let mask_words = [mask as u64, (mask >> 64) as u64];
         let mut events = Vec::new();
-        for i in 0..FRAME_BYTES {
-            if mask >> i & 1 == 1 && !self.fault_map.is_faulty(i) {
+        for (w, &word) in mask_words.iter().enumerate() {
+            let mut bits = word & live[w];
+            while bits != 0 {
+                let i = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
                 self.wear[i] += 1.0;
                 if self.wear[i] >= self.endurance[i] {
                     self.fault_map.mark_faulty(i);
@@ -124,8 +135,11 @@ impl Frame {
         }
         let per_byte = total_byte_writes / live as f64;
         let mut events = Vec::new();
-        for i in 0..FRAME_BYTES {
-            if !self.fault_map.is_faulty(i) {
+        for (w, &word) in self.fault_map.live_words().iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let i = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
                 self.wear[i] += per_byte;
                 if self.wear[i] >= self.endurance[i] {
                     self.fault_map.mark_faulty(i);

@@ -39,7 +39,7 @@ mod wear;
 
 pub use array::{DisableGranularity, FrameId, NvmArray};
 pub use endurance::EnduranceModel;
-pub use fault_map::{FaultMap, FRAME_BYTES};
+pub use fault_map::{FaultMap, LiveIndices, FAULT_WORDS, FRAME_BYTES};
 pub use frame::{Frame, WearEvent};
 pub use setlevel::StartGap;
 pub use wear::WearLevelCounter;

@@ -7,9 +7,21 @@
 //! again and used to gather the ECB back out of the RECB.
 //!
 //! The hardware computes the index vector with a parallel tree adder over
-//! the fault map; this model computes the identical mapping sequentially.
+//! the fault map; this model walks the packed live-byte words of the fault
+//! map directly (`trailing_zeros` per step, see
+//! [`FaultMap::live_indices_from`]), so scatter and gather never
+//! materialize the 66-entry index vector and the write mask is assembled
+//! word by word.
 
-use crate::fault_map::{FaultMap, FRAME_BYTES};
+use crate::fault_map::{FaultMap, FAULT_WORDS, FRAME_BYTES};
+
+fn assert_fits(fault_map: &FaultMap, ecb_len: usize) {
+    assert!(
+        ecb_len <= fault_map.live_bytes(),
+        "ECB of {ecb_len} bytes cannot fit in a frame with {} live bytes",
+        fault_map.live_bytes()
+    );
+}
 
 /// Computes the index vector `I[frame_byte] = Some(ecb_byte)` for an ECB of
 /// `ecb_len` bytes: live frame bytes, scanned circularly from the rotation
@@ -24,22 +36,14 @@ pub fn index_vector(
     offset: usize,
     ecb_len: usize,
 ) -> [Option<u8>; FRAME_BYTES] {
-    assert!(
-        ecb_len <= fault_map.live_bytes(),
-        "ECB of {ecb_len} bytes cannot fit in a frame with {} live bytes",
-        fault_map.live_bytes()
-    );
+    assert_fits(fault_map, ecb_len);
     let mut iv = [None; FRAME_BYTES];
-    let mut next_ecb_byte = 0u8;
-    for step in 0..FRAME_BYTES {
-        if next_ecb_byte as usize == ecb_len {
-            break;
-        }
-        let pos = (offset + step) % FRAME_BYTES;
-        if !fault_map.is_faulty(pos) {
-            iv[pos] = Some(next_ecb_byte);
-            next_ecb_byte += 1;
-        }
+    for (ecb_byte, pos) in fault_map
+        .live_indices_from(offset)
+        .take(ecb_len)
+        .enumerate()
+    {
+        iv[pos] = Some(ecb_byte as u8);
     }
     iv
 }
@@ -52,16 +56,28 @@ pub fn index_vector(
 ///
 /// Panics if the ECB does not fit in the frame's live bytes.
 pub fn scatter(ecb: &[u8], fault_map: &FaultMap, offset: usize) -> ([u8; FRAME_BYTES], u128) {
-    let iv = index_vector(fault_map, offset, ecb.len());
+    assert_fits(fault_map, ecb.len());
     let mut recb = [0u8; FRAME_BYTES];
-    let mut mask = 0u128;
-    for (frame_byte, slot) in iv.iter().enumerate() {
-        if let Some(ecb_byte) = slot {
-            recb[frame_byte] = ecb[*ecb_byte as usize];
-            mask |= 1 << frame_byte;
-        }
+    let mut mask = [0u64; FAULT_WORDS];
+    for (&byte, pos) in ecb.iter().zip(fault_map.live_indices_from(offset)) {
+        recb[pos] = byte;
+        mask[pos >> 6] |= 1 << (pos & 63);
     }
-    (recb, mask)
+    (recb, u128::from(mask[0]) | u128::from(mask[1]) << 64)
+}
+
+/// Gathers an ECB of `ecb_len` bytes back out of a RECB into `ecb`, using
+/// the same fault map and rotation offset the block was written with. The
+/// allocation-free core of [`gather`].
+///
+/// # Panics
+///
+/// Panics if `ecb.len()` exceeds the frame's live-byte count.
+pub fn gather_into(recb: &[u8; FRAME_BYTES], fault_map: &FaultMap, offset: usize, ecb: &mut [u8]) {
+    assert_fits(fault_map, ecb.len());
+    for (byte, pos) in ecb.iter_mut().zip(fault_map.live_indices_from(offset)) {
+        *byte = recb[pos];
+    }
 }
 
 /// Gathers an ECB of `ecb_len` bytes back out of a RECB, using the same
@@ -76,13 +92,8 @@ pub fn gather(
     offset: usize,
     ecb_len: usize,
 ) -> Vec<u8> {
-    let iv = index_vector(fault_map, offset, ecb_len);
     let mut ecb = vec![0u8; ecb_len];
-    for (frame_byte, slot) in iv.iter().enumerate() {
-        if let Some(ecb_byte) = slot {
-            ecb[*ecb_byte as usize] = recb[frame_byte];
-        }
-    }
+    gather_into(recb, fault_map, offset, &mut ecb);
     ecb
 }
 
@@ -116,6 +127,22 @@ mod tests {
             // Mask never touches faulty bytes.
             assert_eq!(mask & fm.raw(), 0);
             assert_eq!(gather(&recb, &fm, offset, ecb.len()), ecb);
+        }
+    }
+
+    #[test]
+    fn scatter_mask_matches_index_vector() {
+        let fm = FaultMap::from_faulty([3, 40, 65]);
+        let ecb: Vec<u8> = (0..50).collect();
+        for offset in [0, 9, 63, 64, 65] {
+            let (recb, mask) = scatter(&ecb, &fm, offset);
+            let iv = index_vector(&fm, offset, ecb.len());
+            for (pos, slot) in iv.iter().enumerate() {
+                assert_eq!(mask >> pos & 1 == 1, slot.is_some());
+                if let Some(ecb_byte) = slot {
+                    assert_eq!(recb[pos], ecb[*ecb_byte as usize]);
+                }
+            }
         }
     }
 

@@ -9,7 +9,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::app::APP_SLOT_SHIFT;
-use crate::profile::{splitmix, Profile};
+use crate::profile::{splitmix, BuildSplitmix, Profile};
 
 /// Block-address bit where the app slot lives (byte bit 40 → block bit 34).
 const SLOT_SHIFT_BLOCKS: u32 = APP_SLOT_SHIFT - 6;
@@ -32,7 +32,10 @@ const SLOT_SHIFT_BLOCKS: u32 = APP_SLOT_SHIFT - 6;
 pub struct WorkloadData {
     profiles: Vec<Profile>,
     compressor: CompressorKind,
-    sizes: HashMap<u64, u8>,
+    /// Memoized per-block sizes. Keyed with the splitmix hasher: the map is
+    /// only ever probed and inserted (never iterated), so the hash function
+    /// affects speed, not simulation results.
+    sizes: HashMap<u64, u8, BuildSplitmix>,
     rng: StdRng,
 }
 
@@ -47,7 +50,7 @@ impl WorkloadData {
         WorkloadData {
             profiles,
             compressor: CompressorKind::Bdi,
-            sizes: HashMap::new(),
+            sizes: HashMap::default(),
             rng: StdRng::seed_from_u64(seed),
         }
     }

@@ -37,5 +37,5 @@ pub use data::WorkloadData;
 pub use driver::{drive_accesses, drive_cycles, RefSource};
 pub use mix::{mixes, Mix};
 pub use pattern::Pattern;
-pub use profile::{Profile, SynthClass};
+pub use profile::{BuildSplitmix, Profile, SplitmixHasher, SynthClass};
 pub use spec::{app_by_name, spec_apps};

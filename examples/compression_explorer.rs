@@ -102,7 +102,7 @@ fn main() {
             let (ce, bytes) = FrameCodec::split_payload(&data);
             let recovered = hybrid_llc::compress::CompressedBlock::from_parts(
                 hybrid_llc::compress::Encoding::from_ce(ce).expect("valid CE"),
-                bytes[..cb.size() as usize].to_vec(),
+                &bytes[..cb.size() as usize],
             )
             .expect("payload length matches encoding");
             assert_eq!(recovered.decompress(), *block);

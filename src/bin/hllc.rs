@@ -16,8 +16,9 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use hybrid_llc::cli::{
-    parse_args, parse_policy, parse_record_args, parse_replay_args, parse_sweep_args,
-    parse_trace_info_args, Args, RecordArgs, ReplayArgs, SweepArgs,
+    parse_args, parse_bench_kernel_args, parse_policy, parse_record_args, parse_replay_args,
+    parse_sweep_args, parse_trace_info_args, Args, BenchKernelArgs, RecordArgs, ReplayArgs,
+    SweepArgs,
 };
 use hybrid_llc::forecast::{Forecast, ForecastConfig};
 use hybrid_llc::runner::{report_json, run_indexed, run_sweep, SweepSpec};
@@ -76,6 +77,9 @@ fn print_stats(stats: &SessionStats, cycles: f64, system: &SystemConfig) {
     if let Some(th) = stats.cp_th {
         println!("  Set Dueling CP_th {th}");
     }
+    if let Some((total, retained)) = stats.dueling_epochs {
+        println!("  dueling epochs    {total} ({retained} retained)");
+    }
 }
 
 /// Writes session stats JSON to `path` when given (the CI round-trip check
@@ -96,31 +100,92 @@ fn write_stats_json(
 
 fn cmd_run(args: &Args) -> Result<(), String> {
     let system = SystemConfig::scaled_down();
-    let stats = match &args.trace {
+    let quiet = args.json;
+    let (stats, workload) = match &args.trace {
         Some(path) => {
             let content = load_trace(path).map_err(|e| format!("{path}: {e}"))?;
-            println!(
-                "replaying {} ({} accesses, recorded under {}) with {} for {:.1}M cycles...",
-                path,
-                content.accesses.len(),
-                content.header.policy,
-                args.policy.name(),
-                args.cycles / 1e6
-            );
-            replay_session(&content, args.policy, Some(args.cycles))?
+            if !quiet {
+                println!(
+                    "replaying {} ({} accesses, recorded under {}) with {} for {:.1}M cycles...",
+                    path,
+                    content.accesses.len(),
+                    content.header.policy,
+                    args.policy.name(),
+                    args.cycles / 1e6
+                );
+            }
+            let workload = content.header.workload.clone();
+            (
+                replay_session(&content, args.policy, Some(args.cycles))?,
+                workload,
+            )
         }
         None => {
             let mix = &mixes()[args.mix];
-            println!(
-                "running {} under {} for {:.1}M cycles...",
-                mix.name,
-                args.policy.name(),
-                args.cycles / 1e6
-            );
-            live_session(args, system.cores)
+            if !quiet {
+                println!(
+                    "running {} under {} for {:.1}M cycles...",
+                    mix.name,
+                    args.policy.name(),
+                    args.cycles / 1e6
+                );
+            }
+            (live_session(args, system.cores), mix.name.to_string())
         }
     };
-    print_stats(&stats, args.cycles, &system);
+    if args.json {
+        // Sorted-key JSON only — the golden determinism tests diff this
+        // output byte for byte, so nothing else may reach stdout.
+        let value = stats_json(&args.policy.name(), &workload, &stats);
+        let text =
+            serde_json::to_string_pretty(&value).map_err(|e| format!("serializing stats: {e}"))?;
+        println!("{text}");
+    } else {
+        print_stats(&stats, args.cycles, &system);
+    }
+    Ok(())
+}
+
+fn cmd_bench_kernel(args: &BenchKernelArgs) -> Result<(), String> {
+    use hybrid_llc::bench::kernel::{kernel_policies, kernel_report, measure_kernel};
+
+    if !args.json {
+        println!(
+            "measuring LLC kernel throughput ({} accesses per policy, seed {}) -> [{}] of {} ...",
+            args.accesses, args.seed, args.label, args.out
+        );
+    }
+    let results: Vec<_> = kernel_policies()
+        .into_iter()
+        .map(|(_, policy)| measure_kernel(policy, args.accesses, args.seed))
+        .collect();
+
+    let existing = std::fs::read_to_string(&args.out)
+        .ok()
+        .and_then(|text| serde_json::from_str(&text).ok());
+    let report = kernel_report(existing.as_ref(), &args.label, &results, args.seed);
+    let text =
+        serde_json::to_string_pretty(&report).map_err(|e| format!("serializing report: {e}"))?;
+    std::fs::write(&args.out, text.clone() + "\n")
+        .map_err(|e| format!("writing {}: {e}", args.out))?;
+
+    if args.json {
+        println!("{text}");
+    } else {
+        for r in &results {
+            println!(
+                "  {:<12} {:>12.0} accesses/sec",
+                r.policy, r.accesses_per_sec
+            );
+        }
+        if let Some(mean) = report.get("speedup").and_then(|s| s.get("mean")) {
+            println!(
+                "  speedup (after/before, mean): {:.2}x",
+                mean.as_f64().unwrap_or(0.0)
+            );
+        }
+        println!("report written to {}", args.out);
+    }
     Ok(())
 }
 
@@ -414,13 +479,14 @@ fn cmd_figures() {
 
 fn usage() {
     println!(
-        "usage: hllc <policies|mixes|figures|run|forecast|compare|sweep|record|replay|trace-info> \
-        [--policy P] [--mix 1..10] [--cycles N] [--seed S] [--jobs N] [--trace f.trc]\n\
+        "usage: hllc <policies|mixes|figures|run|forecast|compare|sweep|record|replay|trace-info|bench-kernel> \
+        [--policy P] [--mix 1..10] [--cycles N] [--seed S] [--jobs N] [--trace f.trc] [--json]\n\
         \x20      hllc sweep [--policies a,b] [--mixes 1,2] [--seeds K] [--capacities 1.0,0.7] \
         [--sets N] [--json out.json] [--trace f.trc]\n\
         \x20      hllc record --out f.trc [--cores N] [--json stats.json] [run flags]\n\
         \x20      hllc replay --trace f.trc [--policy P] [--cycles N] [--json stats.json]\n\
-        \x20      hllc trace-info f.trc"
+        \x20      hllc trace-info f.trc\n\
+        \x20      hllc bench-kernel [--label before|after] [--accesses N] [--seed S] [--out f.json] [--json]"
     );
 }
 
@@ -451,6 +517,9 @@ fn main() -> ExitCode {
             })
         }
         "sweep" => parse_sweep_args(&argv[1..]).and_then(|args| cmd_sweep(&args)),
+        "bench-kernel" => {
+            parse_bench_kernel_args(&argv[1..]).and_then(|args| cmd_bench_kernel(&args))
+        }
         "record" => parse_record_args(&argv[1..]).and_then(|args| cmd_record(&args)),
         "replay" => parse_replay_args(&argv[1..]).and_then(|args| cmd_replay(&args)),
         "trace-info" => parse_trace_info_args(&argv[1..]).and_then(|path| cmd_trace_info(&path)),

@@ -23,6 +23,7 @@
 //! | [`traceio`] | `hllc-traceio` | binary trace capture and replay |
 //! | [`forecast`] | `hllc-forecast` | the aging forecast procedure |
 //! | [`runner`] | `hllc-runner` | deterministic parallel experiment runner |
+//! | [`bench`] | `hllc-bench` | figure/table harnesses and the kernel throughput bench |
 //!
 //! # Quickstart
 //!
@@ -52,6 +53,7 @@
 //! See `examples/` for runnable scenarios and `crates/bench` for the
 //! harnesses that regenerate every table and figure of the paper.
 
+pub use hllc_bench as bench;
 pub use hllc_compress as compress;
 pub use hllc_core as llc;
 pub use hllc_ecc as ecc;

@@ -32,6 +32,11 @@ pub struct SessionStats {
     pub hierarchy: HierarchyStats,
     /// Final Set Dueling CP_th (`None` for non-dueling policies).
     pub cp_th: Option<u8>,
+    /// Set Dueling epochs `(completed, retained)` — retained is bounded by
+    /// the fixed-size history ring (`None` for non-dueling policies).
+    /// Reported in the human-readable summary only; [`stats_json`] is kept
+    /// byte-stable for the record/replay comparison.
+    pub dueling_epochs: Option<(u64, usize)>,
 }
 
 /// The paper's LLC configuration over `geometry`, shared by every
@@ -64,6 +69,10 @@ pub fn run_session<S: RefSource, D: DataModel>(
         llc: *h.llc().stats(),
         hierarchy: h.stats().clone(),
         cp_th: h.llc().dueling().map(|d| d.current_cp_th()),
+        dueling_epochs: h
+            .llc()
+            .dueling()
+            .map(|d| (d.epochs_total(), d.epochs_retained())),
     }
 }
 
@@ -198,6 +207,7 @@ mod tests {
             seed: 7,
             jobs: 1,
             trace: None,
+            json: false,
         }
     }
 

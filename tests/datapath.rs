@@ -47,12 +47,9 @@ fn round_trip(
     };
     let (ce, bytes) = FrameCodec::split_payload(&payload);
     let encoding = Encoding::from_ce(ce).expect("valid CE");
-    CompressedBlock::from_parts(
-        encoding,
-        bytes[..encoding.compressed_size() as usize].to_vec(),
-    )
-    .expect("payload length matches")
-    .decompress()
+    CompressedBlock::from_parts(encoding, &bytes[..encoding.compressed_size() as usize])
+        .expect("payload length matches")
+        .decompress()
 }
 
 #[test]

@@ -22,6 +22,7 @@ fn args(policy: Policy, mix: usize) -> Args {
         seed: 11,
         jobs: 1,
         trace: None,
+        json: false,
     }
 }
 

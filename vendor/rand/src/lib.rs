@@ -116,8 +116,7 @@ macro_rules! impl_int_range {
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
                 let span = (self.end as i128 - self.start as i128) as u128;
-                let v = (rng.next_u64() as u128) % span;
-                (self.start as i128 + v as i128) as $t
+                (self.start as i128 + reduce(rng.next_u64(), span) as i128) as $t
             }
         }
         impl SampleRange<$t> for RangeInclusive<$t> {
@@ -125,14 +124,25 @@ macro_rules! impl_int_range {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "cannot sample empty range");
                 let span = (hi as i128 - lo as i128) as u128 + 1;
-                let v = (rng.next_u64() as u128) % span;
-                (lo as i128 + v as i128) as $t
+                (lo as i128 + reduce(rng.next_u64(), span) as i128) as $t
             }
         }
     )*};
 }
 
 impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// `word % span`, dodging the 128-bit division intrinsic when `span` fits
+/// in a `u64` — which it does for every range narrower than the full
+/// inclusive 64-bit domain. Bit-identical to the wide modulo.
+#[inline]
+fn reduce(word: u64, span: u128) -> u128 {
+    if let Ok(span64) = u64::try_from(span) {
+        u128::from(word % span64)
+    } else {
+        u128::from(word) % span
+    }
+}
 
 impl SampleRange<f64> for Range<f64> {
     fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
