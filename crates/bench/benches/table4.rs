@@ -49,7 +49,8 @@ fn main() {
         "LLC NVM load-use",
         &format!(
             "{} cycles (+{} for decompression/rearrangement)",
-            t.llc_nvm_hit, t.nvm_decompress
+            t.llc_nvm_hit(),
+            t.nvm_decompress
         ),
     ]);
     table.row(["memory load-use", &format!("{} cycles", t.memory)]);

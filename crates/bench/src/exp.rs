@@ -1,6 +1,7 @@
 //! Common experiment plumbing: options, policy sets, forecast averaging,
 //! and single-phase measurement sweeps.
 
+use hllc_config::ExperimentSpec;
 use hllc_core::{HybridConfig, Policy};
 use hllc_forecast::{
     run_phase, Forecast, ForecastConfig, ForecastSeries, PhaseMetrics, PhaseSetup,
@@ -47,13 +48,16 @@ impl ExpOpts {
         mixes().into_iter().take(self.mixes).collect()
     }
 
+    /// The experiment preset these options resolve to: `paper` under
+    /// `HLLC_FULL=1`, `scaled` otherwise.
+    pub fn spec(&self) -> ExperimentSpec {
+        let name = if self.full_scale { "paper" } else { "scaled" };
+        ExperimentSpec::preset(name).expect("builtin preset")
+    }
+
     /// Base forecast configuration for a policy.
     pub fn forecast_config(&self, policy: Policy) -> ForecastConfig {
-        if self.full_scale {
-            ForecastConfig::paper(policy)
-        } else {
-            ForecastConfig::scaled(policy)
-        }
+        ForecastConfig::from_spec(&self.spec()).with_policy(policy)
     }
 
     /// Single-phase setup at the configured scale, with the NVM part
@@ -284,11 +288,7 @@ pub fn fmt_life(hours: Option<f64>) -> String {
 
 /// System config accessor used by table harnesses.
 pub fn system_for(opts: &ExpOpts) -> SystemConfig {
-    if opts.full_scale {
-        SystemConfig::paper_default()
-    } else {
-        SystemConfig::scaled_down()
-    }
+    opts.spec().system_config()
 }
 
 #[cfg(test)]

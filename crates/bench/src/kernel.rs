@@ -15,8 +15,9 @@
 
 use std::time::Instant;
 
-use hllc_core::{HybridConfig, HybridLlc, Policy};
-use hllc_sim::{block_of, DataModel, LlcPort, LlcReq, Op, ReuseClass, SystemConfig};
+use hllc_config::ExperimentSpec;
+use hllc_core::{HybridLlc, Policy};
+use hllc_sim::{block_of, DataModel, LlcPort, LlcReq, Op, ReuseClass};
 use hllc_trace::{mixes, RefSource};
 
 /// Default number of references per policy measurement.
@@ -66,17 +67,12 @@ struct KernelRef {
 /// endurance-sampled NVM array, 100k-cycle dueling epochs); the first 10%
 /// of references are warm-up and excluded from timing.
 pub fn measure_kernel(policy: Policy, accesses: u64, seed: u64) -> KernelResult {
-    let system = SystemConfig::scaled_down();
-    let cfg = HybridConfig::from_geometry(system.llc, policy)
-        .with_endurance(1e8, 0.2)
-        .with_epoch_cycles(100_000)
-        .with_dueling_smoothing(0.6)
-        .with_seed(seed);
+    let spec = ExperimentSpec::preset("scaled").expect("builtin preset");
+    let cfg = spec.llc_config_for(policy).with_seed(seed);
     let mut llc = HybridLlc::new(&cfg);
 
     let mix = &mixes()[0];
-    let scale = system.llc.sets as f64 / 4096.0;
-    let mut streams = mix.instantiate(scale, seed);
+    let mut streams = mix.instantiate(spec.footprint_scale(), seed);
     let mut data = mix.data_model(seed);
 
     let warmup = (accesses / 10) as usize;

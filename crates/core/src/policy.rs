@@ -114,6 +114,81 @@ impl Policy {
             Policy::Tap { .. } => "TAP".into(),
         }
     }
+
+    /// Parses a policy label (Table III aliases). The inverse of
+    /// [`Policy::label`]; this is what `--policy` flags and spec files go
+    /// through.
+    ///
+    /// `cp_sd_th<N>` takes any positive percentage `N` (e.g. `cp_sd_th2`,
+    /// `cp_sd_th0.5`), not just the paper's 4 and 8; an optional `_tw<W>`
+    /// suffix (or a bare `cp_sd_tw<W>`) overrides the write-reduction
+    /// threshold. `ca_cpth<N>` / `ca_rwr_cpth<N>` / `tap_h<N>` name
+    /// non-default static parameters.
+    pub fn parse(name: &str) -> Option<Policy> {
+        let name = name.to_ascii_lowercase();
+        let pct = |s: &str| -> Option<f64> {
+            let v: f64 = s.parse().ok()?;
+            (v.is_finite() && v > 0.0 && v <= 100.0).then_some(v)
+        };
+        if let Some(rest) = name.strip_prefix("cp_sd_th") {
+            let (th, tw) = match rest.split_once("_tw") {
+                Some((th, tw)) => (pct(th)?, pct(tw)?),
+                None => (pct(rest)?, 5.0),
+            };
+            return Some(Policy::CpSd { th, tw });
+        }
+        if let Some(tw) = name.strip_prefix("cp_sd_tw") {
+            return Some(Policy::CpSd {
+                th: 0.0,
+                tw: pct(tw)?,
+            });
+        }
+        let cpth = |s: &str| -> Option<u8> {
+            let v: u8 = s.parse().ok()?;
+            (1..=64).contains(&v).then_some(v)
+        };
+        if let Some(rest) = name.strip_prefix("ca_rwr_cpth") {
+            return Some(Policy::CaRwr { cp_th: cpth(rest)? });
+        }
+        if let Some(rest) = name.strip_prefix("ca_cpth") {
+            return Some(Policy::Ca { cp_th: cpth(rest)? });
+        }
+        if let Some(rest) = name.strip_prefix("tap_h") {
+            let h: u32 = rest.parse().ok()?;
+            return (h >= 1).then_some(Policy::Tap { hit_threshold: h });
+        }
+        match name.as_str() {
+            "bh" => Some(Policy::Bh),
+            "bh_cp" | "bhcp" => Some(Policy::BhCp),
+            "ca" => Some(Policy::Ca { cp_th: 58 }),
+            "ca_rwr" | "carwr" => Some(Policy::CaRwr { cp_th: 58 }),
+            "cp_sd" | "cpsd" => Some(Policy::cp_sd()),
+            "lhybrid" => Some(Policy::LHybrid),
+            "tap" => Some(Policy::tap()),
+            _ => None,
+        }
+    }
+
+    /// Canonical flag spelling: `Policy::parse(p.label())` reconstructs `p`
+    /// exactly, which is what lets spec files and trace headers carry
+    /// policies as plain strings.
+    pub fn label(&self) -> String {
+        match self {
+            Policy::Bh => "bh".into(),
+            Policy::BhCp => "bh_cp".into(),
+            Policy::Ca { cp_th: 58 } => "ca".into(),
+            Policy::Ca { cp_th } => format!("ca_cpth{cp_th}"),
+            Policy::CaRwr { cp_th: 58 } => "ca_rwr".into(),
+            Policy::CaRwr { cp_th } => format!("ca_rwr_cpth{cp_th}"),
+            Policy::CpSd { th, tw } if *th == 0.0 && *tw == 5.0 => "cp_sd".into(),
+            Policy::CpSd { th, tw } if *th == 0.0 => format!("cp_sd_tw{tw}"),
+            Policy::CpSd { th, tw } if *tw == 5.0 => format!("cp_sd_th{th}"),
+            Policy::CpSd { th, tw } => format!("cp_sd_th{th}_tw{tw}"),
+            Policy::LHybrid => "lhybrid".into(),
+            Policy::Tap { hit_threshold: 3 } => "tap".into(),
+            Policy::Tap { hit_threshold } => format!("tap_h{hit_threshold}"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -148,5 +223,46 @@ mod tests {
     fn defaults() {
         assert_eq!(Policy::tap(), Policy::Tap { hit_threshold: 3 });
         assert_eq!(Policy::cp_sd(), Policy::CpSd { th: 0.0, tw: 5.0 });
+    }
+
+    #[test]
+    fn labels_round_trip_through_parse() {
+        for p in [
+            Policy::Bh,
+            Policy::BhCp,
+            Policy::Ca { cp_th: 58 },
+            Policy::Ca { cp_th: 40 },
+            Policy::CaRwr { cp_th: 58 },
+            Policy::CaRwr { cp_th: 32 },
+            Policy::cp_sd(),
+            Policy::cp_sd_th(4.0),
+            Policy::cp_sd_th(8.0),
+            Policy::cp_sd_th(0.5),
+            Policy::CpSd { th: 4.0, tw: 10.0 },
+            Policy::CpSd { th: 0.0, tw: 2.0 },
+            Policy::LHybrid,
+            Policy::tap(),
+            Policy::Tap { hit_threshold: 5 },
+        ] {
+            let label = p.label();
+            assert_eq!(Policy::parse(&label), Some(p), "label '{label}'");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_names() {
+        for bad in [
+            "nonsense",
+            "cp_sd_th",
+            "cp_sd_th0",
+            "cp_sd_th101",
+            "cp_sd_th4_tw0",
+            "ca_cpth0",
+            "ca_cpth65",
+            "ca_rwr_cpthx",
+            "tap_h0",
+        ] {
+            assert!(Policy::parse(bad).is_none(), "'{bad}' accepted");
+        }
     }
 }

@@ -25,9 +25,10 @@ pub struct PhaseSetup {
 }
 
 impl PhaseSetup {
-    /// Footprint scale implied by the LLC geometry (4096 sets = 1.0).
+    /// Footprint scale implied by the LLC geometry
+    /// ([`hllc_config::PAPER_SETS`] sets = 1.0).
     pub fn scale_for_sets(sets: usize) -> f64 {
-        sets as f64 / 4096.0
+        hllc_config::footprint_scale(sets)
     }
 }
 
@@ -136,15 +137,15 @@ mod tests {
     use hllc_trace::mixes;
 
     fn setup(policy: Policy) -> PhaseSetup {
-        let mut system = SystemConfig::scaled_down();
-        system.llc.sets = 256;
-        let llc = HybridConfig::new(256, 4, 12, policy).with_endurance(1e8, 0.2);
+        let mut spec = hllc_config::ExperimentSpec::preset("scaled").expect("builtin preset");
+        spec.system.llc_sets = 256;
+        spec.validate().expect("256-set scaled variant");
         PhaseSetup {
-            system,
-            llc,
+            system: spec.system_config(),
+            llc: spec.llc_config_for(policy),
             warmup_cycles: 100_000.0,
             measure_cycles: 200_000.0,
-            scale: PhaseSetup::scale_for_sets(256),
+            scale: spec.footprint_scale(),
             compressor: CompressorKind::Bdi,
         }
     }

@@ -1,5 +1,6 @@
 //! The full alternating simulate/predict procedure.
 
+use hllc_config::ExperimentSpec;
 use hllc_core::{HybridConfig, Policy};
 use hllc_nvm::NvmArray;
 use hllc_sim::SystemConfig;
@@ -33,45 +34,38 @@ pub struct ForecastConfig {
 }
 
 impl ForecastConfig {
-    /// Full-scale configuration: the paper's Table IV system, μ = 10¹⁰.
-    /// One phase simulates 8 M cycles after 2 M of warm-up.
-    pub fn paper(policy: Policy) -> Self {
-        let system = SystemConfig::paper_default();
-        let llc = HybridConfig::from_geometry(system.llc, policy);
+    /// The forecast an [`ExperimentSpec`] describes: its system, its LLC
+    /// under its own policy, and its `forecast` recipe.
+    pub fn from_spec(spec: &ExperimentSpec) -> Self {
+        let f = &spec.forecast;
         ForecastConfig {
-            system,
-            llc,
-            warmup_cycles: 2.0e6,
-            measure_cycles: 8.0e6,
-            capacity_step: 0.025,
-            max_step_seconds: 120.0 * 86_400.0, // 4 months
-            stop_capacity: 0.5,
-            max_steps: 60,
-            compressor: hllc_compress::CompressorKind::Bdi,
+            system: spec.system_config(),
+            llc: spec.llc_config(),
+            warmup_cycles: f.warmup_cycles,
+            measure_cycles: f.measure_cycles,
+            capacity_step: f.capacity_step,
+            max_step_seconds: f.max_step_seconds,
+            stop_capacity: f.stop_capacity,
+            max_steps: f.max_steps,
+            compressor: spec.compressor(),
         }
     }
 
-    /// Scaled-down configuration for fast experimentation: 512-set LLC,
-    /// μ = 10⁸ endurance. Lifetime *ratios* between policies are preserved
-    /// because failure times are linear in μ (DESIGN.md substitution #4);
-    /// multiply reported lifetimes by 100 for paper-equivalent time.
+    /// Full-scale configuration: the `paper` preset's Table IV system,
+    /// μ = 10¹⁰. One phase simulates 8 M cycles after 2 M of warm-up.
+    pub fn paper(policy: Policy) -> Self {
+        Self::from_spec(&ExperimentSpec::preset("paper").expect("builtin preset"))
+            .with_policy(policy)
+    }
+
+    /// Scaled-down configuration for fast experimentation: the `scaled`
+    /// preset's 512-set LLC, μ = 10⁸ endurance. Lifetime *ratios* between
+    /// policies are preserved because failure times are linear in μ
+    /// (DESIGN.md substitution #4); multiply reported lifetimes by 100 for
+    /// paper-equivalent time.
     pub fn scaled(policy: Policy) -> Self {
-        let system = SystemConfig::scaled_down();
-        let llc = HybridConfig::from_geometry(system.llc, policy)
-            .with_endurance(1e8, 0.2)
-            .with_epoch_cycles(100_000)
-            .with_dueling_smoothing(0.6);
-        ForecastConfig {
-            system,
-            llc,
-            warmup_cycles: 4.0e5,
-            measure_cycles: 1.6e6,
-            capacity_step: 0.03,
-            max_step_seconds: 2.0 * 86_400.0,
-            stop_capacity: 0.5,
-            max_steps: 40,
-            compressor: hllc_compress::CompressorKind::Bdi,
-        }
+        Self::from_spec(&ExperimentSpec::preset("scaled").expect("builtin preset"))
+            .with_policy(policy)
     }
 
     /// Replaces the policy, keeping geometry and endurance.
@@ -174,20 +168,19 @@ mod tests {
 
     /// A very small, fast forecast used by the tests.
     fn tiny(policy: Policy) -> ForecastConfig {
-        let mut system = SystemConfig::scaled_down();
-        system.llc.sets = 128;
-        let llc = HybridConfig::new(128, 4, 12, policy).with_endurance(2e6, 0.2);
-        ForecastConfig {
-            system,
-            llc,
-            warmup_cycles: 5.0e4,
-            measure_cycles: 2.0e5,
-            capacity_step: 0.06,
-            max_step_seconds: 50.0,
-            stop_capacity: 0.5,
-            max_steps: 25,
-            compressor: hllc_compress::CompressorKind::Bdi,
-        }
+        let mut spec = ExperimentSpec::preset("scaled").expect("builtin preset");
+        spec.system.llc_sets = 128;
+        spec.validate().expect("128-set scaled variant");
+        let mut cfg = ForecastConfig::from_spec(&spec);
+        // Keep the historical test knobs: near-default LLC at a drastically
+        // reduced endurance so the aging loop converges in milliseconds.
+        cfg.llc = HybridConfig::new(128, 4, 12, policy).with_endurance(2e6, 0.2);
+        cfg.warmup_cycles = 5.0e4;
+        cfg.measure_cycles = 2.0e5;
+        cfg.capacity_step = 0.06;
+        cfg.max_step_seconds = 50.0;
+        cfg.max_steps = 25;
+        cfg
     }
 
     #[test]

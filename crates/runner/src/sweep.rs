@@ -1,12 +1,12 @@
-//! The `policy × mix × seed × capacity` sweep behind `hllc sweep`.
+//! The `policy × capacity × way-split × latency × mix × seed` sweep behind
+//! `hllc sweep`.
 
 use std::sync::Arc;
 
-use hllc_compress::CompressorKind;
+use hllc_config::ExperimentSpec;
 use hllc_core::{HybridConfig, Policy};
 use hllc_forecast::{run_phase, run_phase_streams, PhaseSetup};
 use hllc_nvm::NvmArray;
-use hllc_sim::SystemConfig;
 use hllc_trace::mixes;
 use hllc_traceio::{ReplayStream, TraceContent, TraceData};
 use serde_json::{json, Value};
@@ -14,21 +14,29 @@ use serde_json::{json, Value};
 use crate::pool::run_indexed;
 use crate::seed::job_seed;
 
-/// The experiment grid: one job per `policy × capacity × mix × replicate`.
+/// The experiment grid: one job per
+/// `policy × capacity × way-split × latency × mix × replicate`.
 #[derive(Clone, Debug)]
 pub struct SweepSpec {
     /// Policies to sweep, as `(label, policy)` pairs.
     pub policies: Vec<(String, Policy)>,
     /// Table V mix indices, 0-based.
     pub mixes: Vec<usize>,
-    /// Seed replicates per `(policy, capacity, mix)` cell.
+    /// Seed replicates per grid cell.
     pub seeds: usize,
     /// NVM capacity fractions to pre-degrade to (1.0 = pristine).
     pub capacities: Vec<f64>,
+    /// SRAM/NVM way splits to sweep (Fig. 10b axis). A singleton equal to
+    /// the base spec's split reproduces the pre-axis job enumeration.
+    pub way_splits: Vec<(usize, usize)>,
+    /// NVM latency factors to sweep (Fig. 11b axis). A singleton `1.0`
+    /// reproduces the pre-axis job enumeration.
+    pub nvm_latency_factors: Vec<f64>,
     /// Base seed; every job derives its own via [`job_seed`].
     pub base_seed: u64,
-    /// LLC sets (4096 = the paper's full-scale 4 MB LLC).
-    pub sets: usize,
+    /// Base experiment every job starts from; the grid axes above edit a
+    /// per-job clone of it.
+    pub spec: ExperimentSpec,
     /// Warm-up cycles before statistics reset.
     pub warmup_cycles: f64,
     /// Measured cycles after warm-up.
@@ -44,8 +52,26 @@ pub struct SweepSpec {
 impl SweepSpec {
     /// Total number of jobs in the grid.
     pub fn job_count(&self) -> usize {
-        self.policies.len() * self.capacities.len() * self.mixes.len() * self.seeds
+        self.policies.len()
+            * self.capacities.len()
+            * self.way_splits.len()
+            * self.nvm_latency_factors.len()
+            * self.mixes.len()
+            * self.seeds
     }
+}
+
+/// One enumerated cell of the grid, before it runs.
+#[derive(Clone, Debug)]
+struct SweepJob {
+    label: String,
+    policy: Policy,
+    capacity: f64,
+    sram_ways: usize,
+    nvm_ways: usize,
+    nvm_latency_factor: f64,
+    mix: usize,
+    rep: usize,
 }
 
 /// One cell of the grid, measured.
@@ -61,6 +87,12 @@ pub struct JobResult {
     pub rep: usize,
     /// NVM capacity fraction the array was degraded to.
     pub capacity: f64,
+    /// SRAM ways of this job's LLC.
+    pub sram_ways: usize,
+    /// NVM ways of this job's LLC.
+    pub nvm_ways: usize,
+    /// NVM latency factor this job ran with.
+    pub nvm_latency_factor: f64,
     /// The seed this job ran with (`job_seed(base_seed, index)`).
     pub seed: u64,
     /// Arithmetic-mean IPC across the cores.
@@ -97,15 +129,30 @@ pub fn degraded_array(llc_cfg: &HybridConfig, capacity: f64, seed: u64) -> Optio
 }
 
 /// The deterministic job enumeration: policies outermost, replicates
-/// innermost. The order is part of the report format — job `index` both
-/// names the row and derives its seed.
-fn enumerate_jobs(spec: &SweepSpec) -> Vec<(String, Policy, f64, usize, usize)> {
+/// innermost, the new way-split and latency axes between capacities and
+/// mixes. The order is part of the report format — job `index` both names
+/// the row and derives its seed — and singleton axes keep it identical to
+/// the pre-axis enumeration.
+fn enumerate_jobs(spec: &SweepSpec) -> Vec<SweepJob> {
     let mut jobs = Vec::with_capacity(spec.job_count());
     for (label, policy) in &spec.policies {
         for &capacity in &spec.capacities {
-            for &mix in &spec.mixes {
-                for rep in 0..spec.seeds {
-                    jobs.push((label.clone(), *policy, capacity, mix, rep));
+            for &(sram_ways, nvm_ways) in &spec.way_splits {
+                for &nvm_latency_factor in &spec.nvm_latency_factors {
+                    for &mix in &spec.mixes {
+                        for rep in 0..spec.seeds {
+                            jobs.push(SweepJob {
+                                label: label.clone(),
+                                policy: *policy,
+                                capacity,
+                                sram_ways,
+                                nvm_ways,
+                                nvm_latency_factor,
+                                mix,
+                                rep,
+                            });
+                        }
+                    }
                 }
             }
         }
@@ -113,41 +160,38 @@ fn enumerate_jobs(spec: &SweepSpec) -> Vec<(String, Policy, f64, usize, usize)> 
     jobs
 }
 
-fn run_job(
-    spec: &SweepSpec,
-    index: usize,
-    (label, policy, capacity, mix_index, rep): (String, Policy, f64, usize, usize),
-) -> JobResult {
+fn run_job(spec: &SweepSpec, index: usize, job: SweepJob) -> JobResult {
     let seed = job_seed(spec.base_seed, index);
-    let mut system = SystemConfig::scaled_down();
-    system.llc.sets = spec.sets;
-    let llc = HybridConfig::from_geometry(system.llc, policy)
-        .with_endurance(1e8, 0.2)
-        .with_epoch_cycles(100_000)
-        .with_dueling_smoothing(0.6);
+    let mut exp = spec.spec.clone();
+    exp.system.sram_ways = job.sram_ways;
+    exp.system.nvm_ways = job.nvm_ways;
+    exp.system.nvm_latency_factor = job.nvm_latency_factor;
     let setup = PhaseSetup {
-        system,
-        llc,
+        system: exp.system_config(),
+        llc: exp.llc_config_for(job.policy),
         warmup_cycles: spec.warmup_cycles,
         measure_cycles: spec.measure_cycles,
-        scale: PhaseSetup::scale_for_sets(spec.sets),
-        compressor: CompressorKind::Bdi,
+        scale: exp.footprint_scale(),
+        compressor: exp.compressor(),
     };
-    let array = degraded_array(&setup.llc, capacity, seed);
+    let array = degraded_array(&setup.llc, job.capacity, seed);
     let (m, _) = match &spec.trace {
         Some(trace) => {
             let mut streams = ReplayStream::per_core(trace);
             let data = TraceData::from_content(trace);
             run_phase_streams(&setup, &mut streams, data, array)
         }
-        None => run_phase(&setup, &mixes()[mix_index], array, seed),
+        None => run_phase(&setup, &mixes()[job.mix], array, seed),
     };
     JobResult {
         index,
-        policy: label,
-        mix: mix_index + 1,
-        rep,
-        capacity,
+        policy: job.label,
+        mix: job.mix + 1,
+        rep: job.rep,
+        capacity: job.capacity,
+        sram_ways: job.sram_ways,
+        nvm_ways: job.nvm_ways,
+        nvm_latency_factor: job.nvm_latency_factor,
         seed,
         ipc: m.ipc,
         hit_rate: m.hit_rate,
@@ -204,13 +248,19 @@ pub fn report_json(report: &SweepReport) -> Value {
     json!({
         "experiment": "sweep",
         "base_seed": spec.base_seed,
-        "sets": spec.sets,
+        "sets": spec.spec.system.llc_sets,
         "warmup_cycles": spec.warmup_cycles,
         "measure_cycles": spec.measure_cycles,
         "policies": spec.policies.iter().map(|(l, _)| l.as_str()).collect::<Vec<_>>(),
         "mixes": spec.mixes.iter().map(|m| m + 1).collect::<Vec<_>>(),
         "seeds_per_cell": spec.seeds,
         "capacities": &spec.capacities,
+        "way_splits": spec
+            .way_splits
+            .iter()
+            .map(|&(s, n)| json!(vec![s, n]))
+            .collect::<Vec<_>>(),
+        "nvm_latency_factors": &spec.nvm_latency_factors,
         "trace_workload": spec.trace.as_ref().map(|t| t.header.workload.clone()),
         "jobs": report.results.iter().map(|r| json!({
             "index": r.index,
@@ -218,6 +268,9 @@ pub fn report_json(report: &SweepReport) -> Value {
             "mix": r.mix,
             "rep": r.rep,
             "capacity": r.capacity,
+            "sram_ways": r.sram_ways,
+            "nvm_ways": r.nvm_ways,
+            "nvm_latency_factor": r.nvm_latency_factor,
             "seed": r.seed,
             "ipc": r.ipc,
             "hit_rate": r.hit_rate,
@@ -231,14 +284,24 @@ pub fn report_json(report: &SweepReport) -> Value {
 mod tests {
     use super::*;
 
+    fn tiny_exp() -> ExperimentSpec {
+        let mut exp = ExperimentSpec::preset("scaled").expect("builtin preset");
+        exp.system.llc_sets = 64;
+        exp.validate().expect("64-set scaled variant");
+        exp
+    }
+
     fn tiny_spec(threads: usize) -> SweepSpec {
+        let exp = tiny_exp();
         SweepSpec {
             policies: vec![("BH".into(), Policy::Bh), ("CP_SD".into(), Policy::cp_sd())],
             mixes: vec![0],
             seeds: 2,
             capacities: vec![1.0, 0.7],
+            way_splits: vec![(exp.system.sram_ways, exp.system.nvm_ways)],
+            nvm_latency_factors: vec![exp.system.nvm_latency_factor],
             base_seed: 42,
-            sets: 64,
+            spec: exp,
             warmup_cycles: 5_000.0,
             measure_cycles: 10_000.0,
             threads,
@@ -253,9 +316,45 @@ mod tests {
         assert_eq!(jobs.len(), spec.job_count());
         assert_eq!(jobs.len(), 8);
         // Policies outermost, replicates innermost.
-        assert_eq!(jobs[0].0, "BH");
-        assert_eq!(jobs[1].4, 1);
-        assert_eq!(jobs[4].0, "CP_SD");
+        assert_eq!(jobs[0].label, "BH");
+        assert_eq!(jobs[1].rep, 1);
+        assert_eq!(jobs[4].label, "CP_SD");
+    }
+
+    #[test]
+    fn way_split_and_latency_axes_expand_the_grid() {
+        let mut spec = tiny_spec(1);
+        spec.capacities = vec![1.0];
+        spec.seeds = 1;
+        spec.way_splits = vec![(4, 12), (3, 13)];
+        spec.nvm_latency_factors = vec![1.0, 1.5];
+        assert_eq!(spec.job_count(), 2 * 2 * 2);
+        let report = run_sweep(&spec);
+        assert_eq!(report.results.len(), 8);
+        // Way splits outermost of the two new axes, latency inside.
+        assert_eq!(
+            (report.results[0].sram_ways, report.results[0].nvm_ways),
+            (4, 12)
+        );
+        assert_eq!(report.results[0].nvm_latency_factor, 1.0);
+        assert_eq!(report.results[1].nvm_latency_factor, 1.5);
+        assert_eq!(
+            (report.results[2].sram_ways, report.results[2].nvm_ways),
+            (3, 13)
+        );
+        for r in &report.results {
+            assert!(r.ipc > 0.0, "job {} idle", r.index);
+        }
+        // The axes land in the report rows and preamble.
+        let v = report_json(&report);
+        assert_eq!(
+            v.get("way_splits").unwrap(),
+            &json!(vec![vec![4usize, 12], vec![3, 13]]),
+        );
+        assert_eq!(v.get("nvm_latency_factors").unwrap(), &json!([1.0, 1.5]));
+        let rows = v.get("jobs").and_then(Value::as_array).unwrap();
+        assert_eq!(rows[2].get("sram_ways").unwrap(), &json!(3usize));
+        assert_eq!(rows[1].get("nvm_latency_factor").unwrap(), &json!(1.5));
     }
 
     #[test]
@@ -303,6 +402,7 @@ mod tests {
                 cycles: 10_000.0,
                 policy: "bh".into(),
                 workload: "synthetic fixture".into(),
+                spec_json: None,
             },
             accesses,
             sizes,
@@ -331,10 +431,8 @@ mod tests {
 
     #[test]
     fn degraded_array_none_at_full_capacity() {
-        let spec = tiny_spec(1);
-        let mut system = SystemConfig::scaled_down();
-        system.llc.sets = spec.sets;
-        let cfg = HybridConfig::from_geometry(system.llc, Policy::Bh).with_endurance(1e8, 0.2);
+        let exp = tiny_exp();
+        let cfg = exp.llc_config_for(Policy::Bh);
         assert!(degraded_array(&cfg, 1.0, 1).is_none());
         let arr = degraded_array(&cfg, 0.8, 1).expect("degraded array");
         assert!(arr.capacity_fraction() <= 0.8);

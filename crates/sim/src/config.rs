@@ -80,27 +80,6 @@ impl SystemConfig {
         }
     }
 
-    /// A proportionally scaled-down system for fast experiments: same
-    /// way counts and latency ratios, 1/8 the sets everywhere. Workload
-    /// footprints should be scaled accordingly (the `hllc-trace` crate's
-    /// scaled app models do this).
-    pub fn scaled_down() -> Self {
-        SystemConfig {
-            cores: 4,
-            l1_sets: 64,
-            l1_ways: 4,
-            l2_sets: 32,
-            l2_ways: 16,
-            llc: LlcGeometry {
-                sets: 512,
-                sram_ways: 4,
-                nvm_ways: 12,
-            },
-            timing: TimingModel::paper_default(),
-            dram: None,
-        }
-    }
-
     /// Doubles the private L2 (the Figure 11a sensitivity study).
     pub fn with_l2_doubled(mut self) -> Self {
         self.l2_sets *= 2;
@@ -121,11 +100,12 @@ impl SystemConfig {
     }
 
     /// Scales the NVM read latency (the Figure 11b ×1.5 study raises the
-    /// 8-cycle data array to 12 cycles, i.e. load-use 32 → 36).
+    /// 8-cycle data array to 12 cycles, i.e. load-use 32 → 36). Only the
+    /// scale is stored; the effective latency derives from the base
+    /// `timing.llc_nvm_tag`/`llc_nvm_array`, so applying this after other
+    /// timing customization (or twice) does not reset them.
     pub fn with_nvm_latency_factor(mut self, factor: f64) -> Self {
-        // Table IV: 8 of the 32 load-use cycles are the NVM data array.
-        let array = 8.0 * factor;
-        self.timing.llc_nvm_hit = (24.0 + array).round() as u32;
+        self.timing.nvm_latency_factor = factor;
         self
     }
 }
@@ -156,9 +136,17 @@ mod tests {
     #[test]
     fn nvm_latency_factor() {
         let cfg = SystemConfig::paper_default().with_nvm_latency_factor(1.5);
-        assert_eq!(cfg.timing.llc_nvm_hit, 36);
+        assert_eq!(cfg.timing.llc_nvm_hit(), 36);
         let cfg1 = SystemConfig::paper_default().with_nvm_latency_factor(1.0);
-        assert_eq!(cfg1.timing.llc_nvm_hit, 32);
+        assert_eq!(cfg1.timing.llc_nvm_hit(), 32);
+        // Applying the factor twice, or after customizing the base, no
+        // longer resets the latency to a literal.
+        let twice = cfg.clone().with_nvm_latency_factor(1.5);
+        assert_eq!(twice.timing.llc_nvm_hit(), 36);
+        let mut custom = SystemConfig::paper_default();
+        custom.timing.llc_nvm_array = 10;
+        let custom = custom.with_nvm_latency_factor(1.5);
+        assert_eq!(custom.timing.llc_nvm_hit(), 39);
     }
 
     #[test]

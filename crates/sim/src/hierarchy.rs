@@ -78,7 +78,7 @@ pub struct Hierarchy<L, D> {
     dram: Option<Dram>,
     /// Directory: bitmask of cores whose L2 holds each block. Entries are
     /// removed when the last sharer evicts.
-    directory: HashMap<u64, u8>,
+    directory: HashMap<u64, u16>,
     stats: HierarchyStats,
     clocks: Vec<f64>,
 }
@@ -88,10 +88,13 @@ impl<L: LlcPort, D: DataModel> Hierarchy<L, D> {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg.cores` exceeds 8 (the directory uses an 8-bit sharer
-    /// mask; the paper's system has 4 cores).
+    /// Panics if `cfg.cores` exceeds 16 (the directory uses a 16-bit
+    /// sharer mask; the paper's system has 4 cores). User-facing inputs
+    /// are range-checked earlier by `ExperimentSpec::validate` in
+    /// `hllc-config`; this assert is the last-resort guard for configs
+    /// built by hand.
     pub fn new(cfg: &SystemConfig, llc: L, data: D) -> Self {
-        assert!(cfg.cores <= 8, "directory supports at most 8 cores");
+        assert!(cfg.cores <= 16, "directory supports at most 16 cores");
         Hierarchy {
             l1: (0..cfg.cores)
                 .map(|_| Cache::new(cfg.l1_sets, cfg.l1_ways))
@@ -212,7 +215,7 @@ impl<L: LlcPort, D: DataModel> Hierarchy<L, D> {
         }
 
         // Coherence: does another private cache hold the block?
-        let remote_mask = self.directory.get(&block).copied().unwrap_or(0) & !(1u8 << core);
+        let remote_mask = self.directory.get(&block).copied().unwrap_or(0) & !(1u16 << core);
         if remote_mask != 0 {
             let level = self.serve_from_remote(core, block, op, remote_mask, now);
             return (level, self.timing.latency(level));
@@ -271,7 +274,8 @@ impl<L: LlcPort, D: DataModel> Hierarchy<L, D> {
             L2State::S => {
                 self.stats.upgrades += 1;
                 // Invalidate any remote shared copies first.
-                let remote_mask = self.directory.get(&block).copied().unwrap_or(0) & !(1u8 << core);
+                let remote_mask =
+                    self.directory.get(&block).copied().unwrap_or(0) & !(1u16 << core);
                 if remote_mask != 0 {
                     self.invalidate_remote(core, block, remote_mask);
                 }
@@ -317,7 +321,7 @@ impl<L: LlcPort, D: DataModel> Hierarchy<L, D> {
     /// Clears `core`'s directory bit for `block`, removing empty entries.
     fn directory_drop(&mut self, core: usize, block: u64) {
         if let Some(mask) = self.directory.get_mut(&block) {
-            *mask &= !(1u8 << core);
+            *mask &= !(1u16 << core);
             if *mask == 0 {
                 self.directory.remove(&block);
             }
@@ -336,7 +340,7 @@ impl<L: LlcPort, D: DataModel> Hierarchy<L, D> {
         core: usize,
         block: u64,
         op: Op,
-        remote_mask: u8,
+        remote_mask: u16,
         now: u64,
     ) -> ServiceLevel {
         let mut forwarded_reuse = ReuseClass::None;
@@ -381,7 +385,7 @@ impl<L: LlcPort, D: DataModel> Hierarchy<L, D> {
     /// Invalidates `block` in every core of `mask` (L1 and L2), updating
     /// the directory. Dirty remote data is implicitly forwarded to the
     /// requesting writer (which will mark its own copy dirty).
-    fn invalidate_remote(&mut self, _requester: usize, block: u64, mask: u8) {
+    fn invalidate_remote(&mut self, _requester: usize, block: u64, mask: u16) {
         for other in 0..self.l2.len() {
             if mask & (1 << other) == 0 {
                 continue;
@@ -565,6 +569,26 @@ mod tests {
         h.access(&Access::load(1, 0x10000));
         assert_eq!(h.stats().services[5], 2);
         assert_eq!(h.stats().services[6], 0);
+        h.assert_coherent();
+    }
+
+    #[test]
+    fn twelve_cores_share_through_the_widened_directory() {
+        let mut cfg = tiny_cfg();
+        cfg.cores = 12;
+        let mut h = Hierarchy::new(&cfg, NullLlc::default(), ConstSizeData::new(64));
+        // Every core reads the same block: the high cores exercise the
+        // sharer-mask bits beyond the old u8 width.
+        for core in 0..12 {
+            h.access(&Access::load(core as u8, 0x1000));
+        }
+        h.assert_coherent();
+        // One memory fill, eleven cache-to-cache transfers.
+        assert_eq!(h.stats().services[5], 1);
+        assert_eq!(h.stats().services[6], 11);
+        // A store from core 11 invalidates all other copies.
+        h.access(&Access::store(11, 0x1000));
+        assert_eq!(h.stats().remote_invalidations, 11);
         h.assert_coherent();
     }
 

@@ -88,7 +88,7 @@ mod tests {
     #[test]
     fn drive_cycles_advances_all_cores() {
         let mix = &mixes()[0];
-        let cfg = SystemConfig::scaled_down();
+        let cfg = SystemConfig::default();
         let mut h = Hierarchy::new(&cfg, NullLlc::default(), mix.data_model(1));
         let mut streams = mix.instantiate(0.05, 1);
         let executed = drive_cycles(&mut h, &mut streams, 20_000.0);
@@ -101,7 +101,7 @@ mod tests {
     #[test]
     fn drive_accesses_balances_clocks() {
         let mix = &mixes()[1];
-        let cfg = SystemConfig::scaled_down();
+        let cfg = SystemConfig::default();
         let mut h = Hierarchy::new(&cfg, NullLlc::default(), mix.data_model(2));
         let mut streams = mix.instantiate(0.05, 2);
         drive_accesses(&mut h, &mut streams, 10_000);
@@ -126,7 +126,7 @@ mod tests {
                 Some(Access::load(core, (self.0 << 6) | (u64::from(core) << 40)))
             }
         }
-        let cfg = SystemConfig::scaled_down();
+        let cfg = SystemConfig::default();
         let mut h = Hierarchy::new(&cfg, NullLlc::default(), hllc_sim::ConstSizeData::new(64));
         let mut streams = vec![Finite(50), Finite(50), Finite(50), Finite(50)];
         let executed = drive_cycles(&mut h, &mut streams, f64::INFINITY);

@@ -16,7 +16,7 @@ proptest! {
         n in 200u64..1500,
     ) {
         let mix = &mixes()[mix_idx];
-        let cfg = SystemConfig::scaled_down();
+        let cfg = SystemConfig::default();
         let mut h = Hierarchy::new(&cfg, NullLlc::default(), mix.data_model(seed));
         let mut streams = mix.instantiate(0.05, seed);
         let cores = streams.len();
@@ -49,7 +49,7 @@ proptest! {
         n in 1u64..5_000,
     ) {
         let mix = &mixes()[mix_idx];
-        let cfg = SystemConfig::scaled_down();
+        let cfg = SystemConfig::default();
         let mut h = Hierarchy::new(&cfg, NullLlc::default(), mix.data_model(seed));
         let mut streams = mix.instantiate(0.05, seed);
         drive_accesses(&mut h, &mut streams, n);

@@ -1,4 +1,4 @@
-//! The `hllc` trace container format (version 1).
+//! The `hllc` trace container format (version 2).
 //!
 //! ```text
 //! file   := magic header chunk* end-chunk
@@ -8,7 +8,11 @@
 //! ```
 //!
 //! The header payload is fixed fields followed by two length-prefixed
-//! strings (see [`TraceHeader::encode`]). Chunks come in three kinds:
+//! strings, and — since version 2 — an optional u32-length-prefixed JSON
+//! blob carrying the resolved experiment spec of the recording system, so
+//! a replay reconstructs the exact configuration instead of assuming a
+//! default (see [`TraceHeader::encode`]). Version 1 files (no blob,
+//! cores capped at 8) still decode. Chunks come in three kinds:
 //! access records (`'A'`), data-model entries (`'D'`), and the explicit
 //! end-of-trace marker (`'E'`, empty payload) that distinguishes a clean
 //! close from a truncated file. Decoding stops with a structured
@@ -21,8 +25,8 @@ use crate::varint;
 /// File magic: identifies a hybrid-LLC trace.
 pub const MAGIC: [u8; 8] = *b"HLLCTRC\0";
 
-/// Current format version. Readers reject anything newer.
-pub const VERSION: u16 = 1;
+/// Current format version. Readers accept 1 and 2, reject anything newer.
+pub const VERSION: u16 = 2;
 
 /// Hard cap on a chunk payload (16 MiB): a corrupt length field must not
 /// drive an allocation of the claimed size.
@@ -64,8 +68,8 @@ impl ChunkKind {
 /// Self-describing trace metadata, stored once at the front of the file.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TraceHeader {
-    /// Cores whose reference streams the trace interleaves (1–8; the
-    /// hierarchy's directory caps at 8).
+    /// Cores whose reference streams the trace interleaves (1–16 since
+    /// version 2; version 1 capped at 8 to match its directory width).
     pub cores: u8,
     /// Table V mix number, 1-based; 0 for foreign/unknown workloads.
     pub mix: u8,
@@ -81,6 +85,11 @@ pub struct TraceHeader {
     pub policy: String,
     /// Workload label, e.g. `"mix 3"` (metadata only).
     pub workload: String,
+    /// Resolved experiment spec of the recording system, as JSON (version
+    /// 2; `None` in version-1 files). Opaque to this crate — producing and
+    /// interpreting it is `hllc-config`'s job, keeping the trace layer
+    /// free of configuration knowledge.
+    pub spec_json: Option<String>,
 }
 
 impl TraceHeader {
@@ -99,6 +108,14 @@ impl TraceHeader {
             p.push(len as u8);
             p.extend_from_slice(&bytes[..len]);
         }
+        // v2: u32-length-prefixed spec blob; 0 marks "absent".
+        match &self.spec_json {
+            Some(spec) => {
+                p.extend_from_slice(&(spec.len() as u32).to_le_bytes());
+                p.extend_from_slice(spec.as_bytes());
+            }
+            None => p.extend_from_slice(&0u32.to_le_bytes()),
+        }
         p
     }
 
@@ -114,12 +131,13 @@ impl TraceHeader {
             Ok(s)
         };
         let version = u16::from_le_bytes(take(2)?.try_into().unwrap());
-        if version != VERSION {
+        if version == 0 || version > VERSION {
             return Err(TraceError::UnsupportedVersion(version));
         }
+        let max_cores = if version == 1 { 8 } else { 16 };
         let cores = take(1)?[0];
-        if cores == 0 || cores > 8 {
-            return Err(bad("core count must be 1..=8"));
+        if cores == 0 || cores > max_cores {
+            return Err(bad(&format!("core count must be 1..={max_cores}")));
         }
         let mix = take(1)?[0];
         let seed = u64::from_le_bytes(take(8)?.try_into().unwrap());
@@ -140,6 +158,21 @@ impl TraceHeader {
         }
         let workload = strings.pop().unwrap();
         let policy = strings.pop().unwrap();
+        let spec_json = if version >= 2 {
+            let len = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+            if len as u32 > MAX_CHUNK_BYTES {
+                return Err(bad("spec blob length exceeds the chunk cap"));
+            }
+            if len == 0 {
+                None
+            } else {
+                let bytes = take(len)?;
+                let s = std::str::from_utf8(bytes).map_err(|_| bad("spec blob"))?;
+                Some(s.to_string())
+            }
+        } else {
+            None
+        };
         Ok(TraceHeader {
             cores,
             mix,
@@ -148,6 +181,7 @@ impl TraceHeader {
             cycles,
             policy,
             workload,
+            spec_json,
         })
     }
 }
@@ -283,13 +317,56 @@ mod tests {
             cycles: 2.0e5,
             policy: "cp_sd".into(),
             workload: "mix 3".into(),
+            spec_json: None,
         }
+    }
+
+    /// Re-encodes a header in the version-1 layout: v1 fixed fields and
+    /// strings, no spec blob.
+    fn encode_v1(h: &TraceHeader) -> Vec<u8> {
+        let mut p = h.encode();
+        p[0..2].copy_from_slice(&1u16.to_le_bytes());
+        p.truncate(p.len() - 4); // drop the empty spec blob length
+        p
     }
 
     #[test]
     fn header_round_trips() {
         let h = header();
         assert_eq!(TraceHeader::decode(&h.encode()).unwrap(), h);
+    }
+
+    #[test]
+    fn header_round_trips_with_spec_blob() {
+        let mut h = header();
+        h.spec_json = Some(r#"{"name":"scaled"}"#.into());
+        assert_eq!(TraceHeader::decode(&h.encode()).unwrap(), h);
+    }
+
+    #[test]
+    fn version1_payload_still_decodes() {
+        let h = header();
+        let decoded = TraceHeader::decode(&encode_v1(&h)).unwrap();
+        assert_eq!(decoded, h);
+        assert_eq!(decoded.spec_json, None);
+    }
+
+    #[test]
+    fn core_cap_depends_on_version() {
+        let mut h = header();
+        h.cores = 12;
+        // v2 accepts up to 16 cores...
+        assert_eq!(TraceHeader::decode(&h.encode()).unwrap().cores, 12);
+        // ...but the same count is corrupt in a v1 layout (8-bit mask era).
+        assert!(matches!(
+            TraceHeader::decode(&encode_v1(&h)),
+            Err(TraceError::HeaderCorrupt(_))
+        ));
+        h.cores = 17;
+        assert!(matches!(
+            TraceHeader::decode(&h.encode()),
+            Err(TraceError::HeaderCorrupt(_))
+        ));
     }
 
     #[test]

@@ -31,7 +31,7 @@
 //!
 //! let header = TraceHeader {
 //!     cores: 1, mix: 0, seed: 1, sets: 512, cycles: 0.0,
-//!     policy: "doc".into(), workload: "doc".into(),
+//!     policy: "doc".into(), workload: "doc".into(), spec_json: None,
 //! };
 //! let rec = Recorder::new(TraceWriter::new(Vec::new(), &header).unwrap());
 //! let mut stream = rec.stream(DocSource);

@@ -292,6 +292,7 @@ mod tests {
             cycles: 1000.0,
             policy: "bh".into(),
             workload: "mix 1".into(),
+            spec_json: None,
         }
     }
 

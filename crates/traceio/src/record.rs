@@ -122,6 +122,7 @@ mod tests {
             cycles: 0.0,
             policy: "test".into(),
             workload: "unit".into(),
+            spec_json: None,
         }
     }
 

@@ -126,6 +126,7 @@ mod tests {
                 cycles: 100.0,
                 policy: "bh".into(),
                 workload: "mix 1".into(),
+                spec_json: None,
             },
             accesses,
             sizes: vec![(1, 8), (2, 64)],

@@ -6,12 +6,14 @@
 //! cargo run --release --example dueling_dynamics
 //! ```
 
-use hybrid_llc::llc::{HybridConfig, HybridLlc, Policy, CP_TH_CANDIDATES};
-use hybrid_llc::sim::{Hierarchy, SystemConfig};
+use hybrid_llc::config::ExperimentSpec;
+use hybrid_llc::llc::{HybridLlc, Policy, CP_TH_CANDIDATES};
+use hybrid_llc::sim::Hierarchy;
 use hybrid_llc::trace::{drive_cycles, mixes};
 
 fn main() {
-    let system = SystemConfig::scaled_down();
+    let spec = ExperimentSpec::preset("scaled").expect("builtin preset");
+    let system = spec.system_config();
     let mix = &mixes()[5]; // lbm + xz + GemsFDTD + wrf: mixed compressibility
     println!(
         "workload {} = {}\n",
@@ -27,12 +29,9 @@ fn main() {
         ("CP_SD", Policy::cp_sd()),
         ("CP_SD_Th8", Policy::cp_sd_th(8.0)),
     ] {
-        let cfg = HybridConfig::from_geometry(system.llc, policy)
-            .with_endurance(1e8, 0.2)
-            .with_epoch_cycles(100_000)
-            .with_dueling_smoothing(0.6);
+        let cfg = spec.llc_config_for(policy);
         let mut h = Hierarchy::new(&system, HybridLlc::new(&cfg), mix.data_model(42));
-        let mut streams = mix.instantiate(0.125, 42);
+        let mut streams = mix.instantiate(spec.footprint_scale(), 42);
         drive_cycles(&mut h, &mut streams, 2_000_000.0);
 
         println!("— {name} —");

@@ -6,19 +6,18 @@
 //! cargo run --release --example policy_faceoff [mix-index 0..9]
 //! ```
 
+use hybrid_llc::config::ExperimentSpec;
 use hybrid_llc::llc::{HybridConfig, HybridLlc, Policy};
-use hybrid_llc::sim::{Hierarchy, SystemConfig};
+use hybrid_llc::sim::Hierarchy;
 use hybrid_llc::trace::{drive_cycles, mixes};
 use hybrid_llc::LlcPort;
 
 fn run(policy_name: &str, policy: Option<Policy>, mix_idx: usize) -> (String, f64, f64, u64) {
-    let mut system = SystemConfig::scaled_down();
+    let spec = ExperimentSpec::preset("scaled").expect("builtin preset");
+    let mut system = spec.system_config();
     let mix = &mixes()[mix_idx];
     let llc_cfg = match policy {
-        Some(p) => HybridConfig::from_geometry(system.llc, p)
-            .with_endurance(1e8, 0.2)
-            .with_epoch_cycles(100_000)
-            .with_dueling_smoothing(0.6),
+        Some(p) => spec.llc_config_for(p),
         None => {
             // SRAM-only upper bound: all 16 ways SRAM.
             system.llc.sram_ways = 16;
@@ -28,7 +27,7 @@ fn run(policy_name: &str, policy: Option<Policy>, mix_idx: usize) -> (String, f6
     };
     let llc = HybridLlc::new(&llc_cfg);
     let mut h = Hierarchy::new(&system, llc, mix.data_model(42));
-    let mut streams = mix.instantiate(512.0 / 4096.0, 42);
+    let mut streams = mix.instantiate(spec.footprint_scale(), 42);
     drive_cycles(&mut h, &mut streams, 400_000.0);
     h.reset_stats();
     drive_cycles(&mut h, &mut streams, 2_400_000.0);

@@ -5,16 +5,19 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use hybrid_llc::llc::{HybridConfig, HybridLlc, Policy};
-use hybrid_llc::sim::{Hierarchy, SystemConfig};
+use hybrid_llc::config::ExperimentSpec;
+use hybrid_llc::llc::HybridLlc;
+use hybrid_llc::sim::Hierarchy;
 use hybrid_llc::trace::{drive_cycles, mixes};
 use hybrid_llc::LlcPort;
 
 fn main() {
-    // A 1/8-scale version of the paper's Table IV system (512-set LLC,
-    // 4 SRAM + 12 NVM ways), running mix 1 of Table V.
-    let system = SystemConfig::scaled_down();
-    let mix = &mixes()[0];
+    // The `scaled` preset: a 1/8-scale version of the paper's Table IV
+    // system (512-set LLC, 4 SRAM + 12 NVM ways), running mix 1 of Table V
+    // under CP_SD.
+    let spec = ExperimentSpec::preset("scaled").expect("builtin preset");
+    let system = spec.system_config();
+    let mix = &mixes()[spec.mix_index()];
     println!(
         "system: {} cores, LLC {} KB ({} SRAM + {} NVM ways)",
         system.cores,
@@ -32,13 +35,9 @@ fn main() {
             .join(" + ")
     );
 
-    let llc_cfg = HybridConfig::from_geometry(system.llc, Policy::cp_sd())
-        .with_endurance(1e8, 0.2)
-        .with_epoch_cycles(100_000)
-        .with_dueling_smoothing(0.6);
-    let llc = HybridLlc::new(&llc_cfg);
+    let llc = HybridLlc::new(&spec.llc_config());
     let mut hierarchy = Hierarchy::new(&system, llc, mix.data_model(42));
-    let mut streams = mix.instantiate(512.0 / 4096.0, 42);
+    let mut streams = mix.instantiate(spec.footprint_scale(), 42);
 
     // Warm up, then measure 2 M cycles.
     drive_cycles(&mut hierarchy, &mut streams, 400_000.0);

@@ -6,9 +6,10 @@
 //! cargo run --release --example wear_and_tear
 //! ```
 
-use hybrid_llc::llc::{HybridConfig, HybridLlc, Policy};
+use hybrid_llc::config::ExperimentSpec;
+use hybrid_llc::llc::{HybridLlc, Policy};
 use hybrid_llc::nvm::FRAME_BYTES;
-use hybrid_llc::sim::{Hierarchy, SystemConfig};
+use hybrid_llc::sim::Hierarchy;
 use hybrid_llc::trace::{drive_cycles, mixes};
 use hybrid_llc::LlcPort;
 use rand::rngs::StdRng;
@@ -35,18 +36,16 @@ fn injure(llc: &mut HybridLlc, bytes_per_frame: usize, rng: &mut StdRng) {
 }
 
 fn measure(policy: Policy, bytes_per_frame: usize) -> (f64, f64) {
-    let system = SystemConfig::scaled_down();
+    let spec = ExperimentSpec::preset("scaled").expect("builtin preset");
+    let system = spec.system_config();
     let mix = &mixes()[0];
-    let cfg = HybridConfig::from_geometry(system.llc, policy)
-        .with_endurance(1e8, 0.2)
-        .with_epoch_cycles(100_000)
-        .with_dueling_smoothing(0.6);
+    let cfg = spec.llc_config_for(policy);
     let mut llc = HybridLlc::new(&cfg);
     let mut rng = StdRng::seed_from_u64(9);
     injure(&mut llc, bytes_per_frame, &mut rng);
     let capacity = llc.capacity_fraction();
     let mut h = Hierarchy::new(&system, llc, mix.data_model(42));
-    let mut streams = mix.instantiate(0.125, 42);
+    let mut streams = mix.instantiate(spec.footprint_scale(), 42);
     drive_cycles(&mut h, &mut streams, 400_000.0);
     h.reset_stats();
     drive_cycles(&mut h, &mut streams, 2_000_000.0);

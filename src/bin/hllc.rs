@@ -3,10 +3,12 @@
 //! ```text
 //! hllc policies                          list the insertion policies
 //! hllc mixes                             list the Table V workloads
+//! hllc spec --preset paper               print (or --dump) an experiment spec
 //! hllc run      --policy cp_sd --mix 1   one simulation phase, cache stats
+//! hllc run      --spec specs/paper.json  the same, from a spec file or preset
 //! hllc forecast --policy bh    --mix 1   age the NVM part to 50% capacity
 //! hllc compare  --mix 1 --jobs 4         all policies side by side, in parallel
-//! hllc sweep    --policies bh,cp_sd --mixes 1,2 --seeds 2 --jobs 4 --json out.json
+//! hllc sweep    --policies bh,cp_sd --way-splits 4/12,3/13 --nvm-latency 1.0,1.5
 //! hllc record   --mix 1 --out m1.trc     capture a live run into a trace file
 //! hllc replay   --trace m1.trc           rerun a trace file (bit-identical)
 //! hllc trace-info m1.trc                 inspect and verify a trace file
@@ -17,13 +19,15 @@ use std::sync::Arc;
 
 use hybrid_llc::cli::{
     parse_args, parse_bench_kernel_args, parse_policy, parse_record_args, parse_replay_args,
-    parse_sweep_args, parse_trace_info_args, Args, BenchKernelArgs, RecordArgs, ReplayArgs,
-    SweepArgs,
+    parse_spec_args, parse_sweep_args, parse_trace_info_args, Args, BenchKernelArgs, RecordArgs,
+    ReplayArgs, SpecArgs, SweepArgs,
 };
+use hybrid_llc::config::ExperimentSpec;
 use hybrid_llc::forecast::{Forecast, ForecastConfig};
 use hybrid_llc::runner::{report_json, run_indexed, run_sweep, SweepSpec};
 use hybrid_llc::session::{
-    live_session, record_session, recording_header, replay_session, stats_json, SessionStats,
+    live_session, record_session, recording_header, replay_session_with, stats_json, trace_spec,
+    SessionStats,
 };
 use hybrid_llc::sim::{EnergyModel, Op, SystemConfig};
 use hybrid_llc::trace::mixes;
@@ -55,6 +59,17 @@ fn cmd_mixes() {
         let names: Vec<&str> = m.apps.iter().map(|a| a.name).collect();
         println!("  {:<7} {}", m.name, names.join(", "));
     }
+}
+
+fn cmd_spec(args: &SpecArgs) -> Result<(), String> {
+    match &args.dump {
+        Some(path) => {
+            args.spec.store(path).map_err(|e| e.to_string())?;
+            println!("spec written to {path}");
+        }
+        None => print!("{}", args.spec.to_string_pretty()),
+    }
+    Ok(())
 }
 
 fn print_stats(stats: &SessionStats, cycles: f64, system: &SystemConfig) {
@@ -98,10 +113,20 @@ fn write_stats_json(
     Ok(())
 }
 
+/// The spec a replay runs under: the explicitly requested one when `--spec`
+/// was passed (geometry-checked against the recording downstream), else the
+/// recording's own.
+fn replay_spec(args: &Args, content: &TraceContent) -> Result<ExperimentSpec, String> {
+    if args.explicit_spec {
+        Ok(args.spec.clone())
+    } else {
+        trace_spec(content)
+    }
+}
+
 fn cmd_run(args: &Args) -> Result<(), String> {
-    let system = SystemConfig::scaled_down();
     let quiet = args.json;
-    let (stats, workload) = match &args.trace {
+    let (stats, workload, system) = match &args.trace {
         Some(path) => {
             let content = load_trace(path).map_err(|e| format!("{path}: {e}"))?;
             if !quiet {
@@ -110,38 +135,42 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                     path,
                     content.accesses.len(),
                     content.header.policy,
-                    args.policy.name(),
-                    args.cycles / 1e6
+                    args.policy().name(),
+                    args.cycles() / 1e6
                 );
             }
             let workload = content.header.workload.clone();
-            (
-                replay_session(&content, args.policy, Some(args.cycles))?,
-                workload,
-            )
+            let spec = replay_spec(args, &content)?;
+            let stats = replay_session_with(&content, &spec, args.policy(), Some(args.cycles()))?;
+            (stats, workload, spec.system_config())
         }
         None => {
-            let mix = &mixes()[args.mix];
+            let mix = &mixes()[args.mix_index()];
             if !quiet {
                 println!(
                     "running {} under {} for {:.1}M cycles...",
                     mix.name,
-                    args.policy.name(),
-                    args.cycles / 1e6
+                    args.policy().name(),
+                    args.cycles() / 1e6
                 );
             }
-            (live_session(args, system.cores), mix.name.to_string())
+            let system = args.spec.system_config();
+            (
+                live_session(args, system.cores),
+                mix.name.to_string(),
+                system,
+            )
         }
     };
     if args.json {
         // Sorted-key JSON only — the golden determinism tests diff this
         // output byte for byte, so nothing else may reach stdout.
-        let value = stats_json(&args.policy.name(), &workload, &stats);
+        let value = stats_json(&args.policy().name(), &workload, &stats);
         let text =
             serde_json::to_string_pretty(&value).map_err(|e| format!("serializing stats: {e}"))?;
         println!("{text}");
     } else {
-        print_stats(&stats, args.cycles, &system);
+        print_stats(&stats, args.cycles(), &system);
     }
     Ok(())
 }
@@ -196,12 +225,12 @@ fn cmd_record(args: &RecordArgs) -> Result<(), String> {
         "recording {} under {} for {:.1}M cycles on {} cores -> {} ...",
         header.workload,
         header.policy,
-        args.run.cycles / 1e6,
+        args.run.cycles() / 1e6,
         header.cores,
         args.out
     );
     let (stats, _) = record_session(&args.run, args.cores, writer)?;
-    print_stats(&stats, args.run.cycles, &SystemConfig::scaled_down());
+    print_stats(&stats, args.run.cycles(), &args.run.spec.system_config());
     write_stats_json(
         args.json.as_deref(),
         &header.policy,
@@ -223,6 +252,10 @@ fn cmd_replay(args: &ReplayArgs) -> Result<(), String> {
             )
         })?,
     };
+    let spec = match &args.spec {
+        Some(s) => s.clone(),
+        None => trace_spec(&content)?,
+    };
     let cycles = args.cycles.unwrap_or(content.header.cycles);
     println!(
         "replaying {} ({} cores, {} accesses, {} block sizes) under {} for {:.1}M cycles...",
@@ -233,8 +266,8 @@ fn cmd_replay(args: &ReplayArgs) -> Result<(), String> {
         policy.name(),
         cycles / 1e6
     );
-    let stats = replay_session(&content, policy, args.cycles)?;
-    print_stats(&stats, cycles, &SystemConfig::scaled_down());
+    let stats = replay_session_with(&content, &spec, policy, args.cycles)?;
+    print_stats(&stats, cycles, &spec.system_config());
     write_stats_json(
         args.json.as_deref(),
         &policy.name(),
@@ -247,13 +280,20 @@ fn cmd_trace_info(path: &str) -> Result<(), String> {
     let mut reader = open_trace(path).map_err(|e| format!("{path}: {e}"))?;
     let h = reader.header().clone();
     println!("{path}:");
-    println!("  format        HLLCTRC v{VERSION}");
+    println!("  format        HLLCTRC (reader v{VERSION})");
     println!("  cores         {}", h.cores);
     println!("  workload      {} (mix {})", h.workload, h.mix);
     println!("  policy        {}", h.policy);
     println!("  seed          {}", h.seed);
     println!("  llc sets      {}", h.sets);
     println!("  cycle budget  {:.1}M", h.cycles / 1e6);
+    match &h.spec_json {
+        Some(text) => match ExperimentSpec::from_str(text) {
+            Ok(spec) => println!("  spec          embedded ('{}', v2 header)", spec.name),
+            Err(e) => println!("  spec          embedded but unreadable: {e}"),
+        },
+        None => println!("  spec          none (v1 header)"),
+    }
     let mut chunks = 0u64;
     let mut sizes = 0u64;
     let mut stores = 0u64;
@@ -289,13 +329,16 @@ fn cmd_forecast(args: &Args) -> Result<(), String> {
     if args.trace.is_some() {
         return Err("forecast alternates synthetic phases; --trace is not supported".into());
     }
-    let mix = &mixes()[args.mix];
+    let mix = &mixes()[args.mix_index()];
     println!(
-        "forecasting {} under {} (scaled mu=1e8; multiply times by 100 for paper scale)...",
+        "forecasting {} under {} (spec '{}', mu={:.0e} writes/frame)...",
         mix.name,
-        args.policy.name()
+        args.policy().name(),
+        args.spec.name,
+        args.spec.hybrid.endurance_mean,
     );
-    let series = Forecast::new(ForecastConfig::scaled(args.policy)).run(mix, args.seed);
+    let series = Forecast::new(ForecastConfig::from_spec(&args.spec).with_policy(args.policy()))
+        .run(mix, args.seed());
     println!("{:>10} {:>10} {:>8}", "time [h]", "capacity", "IPC");
     for p in &series.points {
         println!(
@@ -313,11 +356,13 @@ fn cmd_forecast(args: &Args) -> Result<(), String> {
 }
 
 /// Loads (and core-count-validates) the trace named by a `--trace` flag.
-fn load_trace_arg(trace: &Option<String>) -> Result<Option<Arc<TraceContent>>, String> {
+fn load_trace_arg(
+    trace: &Option<String>,
+    system_cores: usize,
+) -> Result<Option<Arc<TraceContent>>, String> {
     let Some(path) = trace else { return Ok(None) };
     let content = load_trace(path).map_err(|e| format!("{path}: {e}"))?;
     let cores = usize::from(content.header.cores);
-    let system_cores = SystemConfig::scaled_down().cores;
     if cores > system_cores {
         return Err(format!(
             "{path}: trace has {cores} cores but the system only has {system_cores}"
@@ -327,15 +372,19 @@ fn load_trace_arg(trace: &Option<String>) -> Result<Option<Arc<TraceContent>>, S
 }
 
 fn cmd_compare(args: &Args) -> Result<(), String> {
-    let trace = load_trace_arg(&args.trace)?;
+    let trace = load_trace_arg(&args.trace, args.spec.system.cores)?;
+    let replay = match &trace {
+        Some(content) => Some(Arc::new(replay_spec(args, content)?)),
+        None => None,
+    };
     let workload = match (&trace, &args.trace) {
         (Some(content), Some(path)) => format!("{} (trace {path})", content.header.workload),
-        _ => mixes()[args.mix].name.to_string(),
+        _ => mixes()[args.mix_index()].name.to_string(),
     };
     println!(
         "comparing all policies on {} ({:.1}M cycles each)...\n",
         workload,
-        args.cycles / 1e6
+        args.cycles() / 1e6
     );
     println!(
         "{:<12} {:>8} {:>10} {:>14} {:>12}",
@@ -357,18 +406,23 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     .map(|p| parse_policy(p).unwrap())
     .collect();
     let rows = run_indexed(policies, args.jobs, |_, policy| {
-        let system = SystemConfig::scaled_down();
-        let stats = match &trace {
-            Some(content) => replay_session(content, policy, Some(args.cycles))
-                .expect("trace core count validated before dispatch"),
-            None => {
+        let system = args.spec.system_config();
+        let stats = match (&trace, &replay) {
+            (Some(content), Some(spec)) => {
+                replay_session_with(content, spec, policy, Some(args.cycles()))
+                    .expect("trace geometry validated before dispatch")
+            }
+            _ => {
                 let mut job_args = args.clone();
-                job_args.policy = policy;
+                job_args.spec.hybrid.policy = policy.label();
                 live_session(&job_args, system.cores)
             }
         };
-        let e =
-            EnergyModel::default_16nm().breakdown(&stats.llc, args.cycles, system.timing.freq_ghz);
+        let e = EnergyModel::default_16nm().breakdown(
+            &stats.llc,
+            args.cycles(),
+            system.timing.freq_ghz,
+        );
         format!(
             "{:<12} {:>8.3} {:>9.1}% {:>14} {:>12.2}",
             policy.name(),
@@ -385,7 +439,7 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_sweep(args: &SweepArgs) -> Result<(), String> {
-    let trace = load_trace_arg(&args.trace)?;
+    let trace = load_trace_arg(&args.trace, args.spec.system.cores)?;
     if let (Some(content), Some(path)) = (&trace, &args.trace) {
         println!(
             "replaying trace {path} ({} accesses) in every job; mixes only label the grid",
@@ -397,17 +451,21 @@ fn cmd_sweep(args: &SweepArgs) -> Result<(), String> {
         mixes: args.mixes.clone(),
         seeds: args.seeds,
         capacities: args.capacities.clone(),
-        base_seed: args.seed,
-        sets: args.sets,
-        warmup_cycles: 0.2 * args.cycles,
+        way_splits: args.way_splits.clone(),
+        nvm_latency_factors: args.nvm_latency_factors.clone(),
+        base_seed: args.spec.workload.seed,
+        spec: args.spec.clone(),
+        warmup_cycles: args.spec.run.warmup_fraction * args.cycles,
         measure_cycles: args.cycles,
         threads: args.jobs,
         trace,
     };
     println!(
-        "sweeping {} policies x {} capacities x {} mixes x {} seeds = {} jobs on {} threads...",
+        "sweeping {} policies x {} capacities x {} way splits x {} latencies x {} mixes x {} seeds = {} jobs on {} threads...",
         spec.policies.len(),
         spec.capacities.len(),
+        spec.way_splits.len(),
+        spec.nvm_latency_factors.len(),
         spec.mixes.len(),
         spec.seeds,
         spec.job_count(),
@@ -479,14 +537,16 @@ fn cmd_figures() {
 
 fn usage() {
     println!(
-        "usage: hllc <policies|mixes|figures|run|forecast|compare|sweep|record|replay|trace-info|bench-kernel> \
-        [--policy P] [--mix 1..10] [--cycles N] [--seed S] [--jobs N] [--trace f.trc] [--json]\n\
-        \x20      hllc sweep [--policies a,b] [--mixes 1,2] [--seeds K] [--capacities 1.0,0.7] \
-        [--sets N] [--json out.json] [--trace f.trc]\n\
+        "usage: hllc <policies|mixes|figures|spec|run|forecast|compare|sweep|record|replay|trace-info|bench-kernel> \
+        [--spec file|preset] [--policy P] [--mix 1..10] [--cycles N] [--seed S] [--jobs N] [--trace f.trc] [--json]\n\
+        \x20      hllc spec [--preset name] [--dump out.json]           (presets: {})\n\
+        \x20      hllc sweep [--spec file|preset] [--policies a,b] [--mixes 1,2] [--seeds K] [--capacities 1.0,0.7] \
+        [--way-splits 4/12,3/13] [--nvm-latency 1.0,1.5] [--sets N] [--json out.json] [--trace f.trc]\n\
         \x20      hllc record --out f.trc [--cores N] [--json stats.json] [run flags]\n\
-        \x20      hllc replay --trace f.trc [--policy P] [--cycles N] [--json stats.json]\n\
+        \x20      hllc replay --trace f.trc [--policy P] [--cycles N] [--spec file|preset] [--json stats.json]\n\
         \x20      hllc trace-info f.trc\n\
-        \x20      hllc bench-kernel [--label before|after] [--accesses N] [--seed S] [--out f.json] [--json]"
+        \x20      hllc bench-kernel [--label before|after] [--accesses N] [--seed S] [--out f.json] [--json]",
+        ExperimentSpec::preset_names().join(", ")
     );
 }
 
@@ -509,6 +569,7 @@ fn main() -> ExitCode {
             cmd_figures();
             Ok(())
         }
+        "spec" => parse_spec_args(&argv[1..]).and_then(|args| cmd_spec(&args)),
         "run" | "forecast" | "compare" => {
             parse_args(&argv[1..]).and_then(|args| match cmd.as_str() {
                 "run" => cmd_run(&args),

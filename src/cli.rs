@@ -1,44 +1,30 @@
 //! Command-line parsing for the `hllc` binary, split out of the binary so
 //! the flag grammar is unit-testable.
+//!
+//! Every command resolves one [`ExperimentSpec`] — the `scaled` preset
+//! unless `--spec <file|preset>` says otherwise — and the familiar flags
+//! (`--policy`, `--mix`, `--cycles`, `--seed`, `--sets`) are edits applied
+//! on top of it. The final spec is validated once, so every command
+//! reports the same structured errors for the same mistakes.
 
+use hllc_config::ExperimentSpec;
 use hllc_core::Policy;
 
-/// Parses a policy flag value into a [`Policy`] (Table III aliases).
-///
-/// `cp_sd_th<N>` takes any positive percentage `N` (e.g. `cp_sd_th2`,
-/// `cp_sd_th16`, `cp_sd_th0.5`), not just the paper's 4 and 8.
+/// Parses a policy flag value into a [`Policy`] (Table III aliases plus
+/// the parameterized spellings, e.g. `cp_sd_th4`, `ca_cpth40`, `tap_h5`).
 pub fn parse_policy(name: &str) -> Option<Policy> {
-    let name = name.to_ascii_lowercase();
-    if let Some(th) = name.strip_prefix("cp_sd_th") {
-        let th: f64 = th.parse().ok()?;
-        if !th.is_finite() || th <= 0.0 || th > 100.0 {
-            return None;
-        }
-        return Some(Policy::cp_sd_th(th));
-    }
-    match name.as_str() {
-        "bh" => Some(Policy::Bh),
-        "bh_cp" | "bhcp" => Some(Policy::BhCp),
-        "ca" => Some(Policy::Ca { cp_th: 58 }),
-        "ca_rwr" | "carwr" => Some(Policy::CaRwr { cp_th: 58 }),
-        "cp_sd" | "cpsd" => Some(Policy::cp_sd()),
-        "lhybrid" => Some(Policy::LHybrid),
-        "tap" => Some(Policy::tap()),
-        _ => None,
-    }
+    Policy::parse(name)
 }
 
 /// Arguments of `hllc run|forecast|compare`.
 #[derive(Clone, Debug)]
 pub struct Args {
-    /// Insertion policy (`run`/`forecast` only; `compare` runs them all).
-    pub policy: Policy,
-    /// Table V mix, stored 0-based.
-    pub mix: usize,
-    /// Simulated cycles.
-    pub cycles: f64,
-    /// Base seed.
-    pub seed: u64,
+    /// The resolved experiment: preset or file, with flag edits applied.
+    pub spec: ExperimentSpec,
+    /// Whether `--spec` was passed explicitly. Replay paths use this to
+    /// decide between reconstructing the recorded system and enforcing
+    /// the requested one.
+    pub explicit_spec: bool,
     /// Worker threads (`compare` only; results are independent of it).
     pub jobs: usize,
     /// Trace file replacing the synthetic mix (`run`/`compare` only).
@@ -48,13 +34,78 @@ pub struct Args {
     pub json: bool,
 }
 
+impl Args {
+    /// The parsed insertion policy.
+    pub fn policy(&self) -> Policy {
+        self.spec.policy()
+    }
+
+    /// The 0-based Table V mix index.
+    pub fn mix_index(&self) -> usize {
+        self.spec.mix_index()
+    }
+
+    /// The measured cycle budget.
+    pub fn cycles(&self) -> f64 {
+        self.spec.run.cycles
+    }
+
+    /// The base seed.
+    pub fn seed(&self) -> u64 {
+        self.spec.workload.seed
+    }
+
+    /// An `Args` over the `scaled` preset with the common overrides — the
+    /// constructor tests and benches use.
+    pub fn scaled(policy: Policy, mix_index: usize, cycles: f64, seed: u64) -> Args {
+        let mut spec = ExperimentSpec::preset("scaled").expect("builtin preset");
+        spec.hybrid.policy = policy.label();
+        spec.workload.mix = mix_index + 1;
+        spec.run.cycles = cycles;
+        spec.workload.seed = seed;
+        spec.validate().expect("scaled preset with test overrides");
+        Args {
+            spec,
+            explicit_spec: false,
+            jobs: 1,
+            trace: None,
+            json: false,
+        }
+    }
+}
+
+/// First pass over the flags: resolve `--spec` (preset name or file path)
+/// before the remaining flags edit it. Returns the spec and whether it was
+/// explicit.
+fn resolve_spec_flag(argv: &[String]) -> Result<(ExperimentSpec, bool), String> {
+    let mut found: Option<String> = None;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--spec" {
+            found = Some(
+                it.next()
+                    .ok_or_else(|| "--spec needs a value".to_string())?
+                    .clone(),
+            );
+        }
+    }
+    match found {
+        Some(arg) => ExperimentSpec::resolve(&arg)
+            .map(|s| (s, true))
+            .map_err(|e| e.to_string()),
+        None => Ok((
+            ExperimentSpec::preset("scaled").expect("builtin preset"),
+            false,
+        )),
+    }
+}
+
 /// Parses the flags of `hllc run|forecast|compare`.
 pub fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let (spec, explicit_spec) = resolve_spec_flag(argv)?;
     let mut args = Args {
-        policy: Policy::cp_sd(),
-        mix: 0,
-        cycles: 2.0e6,
-        seed: 42,
+        spec,
+        explicit_spec,
         jobs: hllc_runner::default_threads(),
         trace: None,
         json: false,
@@ -63,10 +114,14 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
     while let Some(flag) = it.next() {
         let mut value = || it.next().ok_or_else(|| format!("{flag} needs a value"));
         match flag.as_str() {
+            "--spec" => {
+                value()?; // consumed by resolve_spec_flag
+            }
             "--policy" => {
                 let v = value()?;
-                args.policy = parse_policy(v)
+                parse_policy(v)
                     .ok_or_else(|| format!("unknown policy '{v}' (try `hllc policies`)"))?;
+                args.spec.hybrid.policy = v.clone();
             }
             "--mix" => {
                 let v: usize = value()?
@@ -75,15 +130,15 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
                 if !(1..=10).contains(&v) {
                     return Err("--mix expects 1..10".into());
                 }
-                args.mix = v - 1;
+                args.spec.workload.mix = v;
             }
             "--cycles" => {
-                args.cycles = value()?
+                args.spec.run.cycles = value()?
                     .parse()
                     .map_err(|_| "--cycles expects a number".to_string())?;
             }
             "--seed" => {
-                args.seed = value()?
+                args.spec.workload.seed = value()?
                     .parse()
                     .map_err(|_| "--seed expects an integer".to_string())?;
             }
@@ -95,12 +150,16 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
+    args.spec.validate().map_err(|e| e.to_string())?;
     Ok(args)
 }
 
 /// Arguments of `hllc sweep`.
 #[derive(Clone, Debug)]
 pub struct SweepArgs {
+    /// Base experiment: geometry, endurance, and workload seed of every
+    /// job; the grid axes below are edits applied per job.
+    pub spec: ExperimentSpec,
     /// Policies to sweep, as `(label, policy)` pairs in flag order.
     pub policies: Vec<(String, Policy)>,
     /// Table V mixes, stored 0-based.
@@ -109,14 +168,14 @@ pub struct SweepArgs {
     pub seeds: usize,
     /// NVM capacity fractions (1.0 = pristine).
     pub capacities: Vec<f64>,
+    /// SRAM/NVM way splits (Fig. 10b-style axis); defaults to the spec's.
+    pub way_splits: Vec<(usize, usize)>,
+    /// NVM latency factors (Fig. 11b-style axis); defaults to the spec's.
+    pub nvm_latency_factors: Vec<f64>,
     /// Worker threads; any value yields byte-identical reports.
     pub jobs: usize,
     /// Measured cycles per job (warm-up is 20% on top).
     pub cycles: f64,
-    /// Base seed of the per-job SplitMix64 streams.
-    pub seed: u64,
-    /// LLC sets.
-    pub sets: usize,
     /// Where to write the JSON report, if anywhere.
     pub json: Option<String>,
     /// Trace file replacing the synthetic mixes.
@@ -125,15 +184,17 @@ pub struct SweepArgs {
 
 /// Parses the flags of `hllc sweep`.
 pub fn parse_sweep_args(argv: &[String]) -> Result<SweepArgs, String> {
+    let (spec, _) = resolve_spec_flag(argv)?;
     let mut args = SweepArgs {
+        spec,
         policies: parse_policy_list("bh,cp_sd").unwrap(),
         mixes: vec![0, 1, 2, 3],
         seeds: 1,
         capacities: vec![1.0],
+        way_splits: Vec::new(),
+        nvm_latency_factors: Vec::new(),
         jobs: hllc_runner::default_threads(),
         cycles: 2.0e5,
-        seed: 42,
-        sets: 512,
         json: None,
         trace: None,
     };
@@ -141,6 +202,9 @@ pub fn parse_sweep_args(argv: &[String]) -> Result<SweepArgs, String> {
     while let Some(flag) = it.next() {
         let mut value = || it.next().ok_or_else(|| format!("{flag} needs a value"));
         match flag.as_str() {
+            "--spec" => {
+                value()?; // consumed by resolve_spec_flag
+            }
             "--policies" => args.policies = parse_policy_list(value()?)?,
             "--mixes" => args.mixes = parse_mix_list(value()?)?,
             "--seeds" => {
@@ -163,6 +227,20 @@ pub fn parse_sweep_args(argv: &[String]) -> Result<SweepArgs, String> {
                     })
                     .collect::<Result<_, _>>()?;
             }
+            "--way-splits" => args.way_splits = parse_way_splits(value()?)?,
+            "--nvm-latency" => {
+                let v = value()?;
+                args.nvm_latency_factors = v
+                    .split(',')
+                    .map(|f| {
+                        f.trim()
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|x| x.is_finite() && *x > 0.0)
+                            .ok_or_else(|| format!("bad latency factor '{f}' (expects > 0)"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
             "--jobs" => args.jobs = parse_jobs(value()?)?,
             "--cycles" => {
                 args.cycles = value()?
@@ -170,12 +248,12 @@ pub fn parse_sweep_args(argv: &[String]) -> Result<SweepArgs, String> {
                     .map_err(|_| "--cycles expects a number".to_string())?;
             }
             "--seed" => {
-                args.seed = value()?
+                args.spec.workload.seed = value()?
                     .parse()
                     .map_err(|_| "--seed expects an integer".to_string())?;
             }
             "--sets" => {
-                args.sets = value()?
+                args.spec.system.llc_sets = value()?
                     .parse()
                     .ok()
                     .filter(|&s: &usize| s >= 1)
@@ -186,7 +264,38 @@ pub fn parse_sweep_args(argv: &[String]) -> Result<SweepArgs, String> {
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
+    if args.way_splits.is_empty() {
+        args.way_splits = vec![(args.spec.system.sram_ways, args.spec.system.nvm_ways)];
+    }
+    if args.nvm_latency_factors.is_empty() {
+        args.nvm_latency_factors = vec![args.spec.system.nvm_latency_factor];
+    }
+    args.spec.validate().map_err(|e| e.to_string())?;
     Ok(args)
+}
+
+/// Parses a comma-separated way-split list, e.g. `4/12,3/13`.
+fn parse_way_splits(v: &str) -> Result<Vec<(usize, usize)>, String> {
+    let list: Vec<(usize, usize)> = v
+        .split(',')
+        .map(|pair| {
+            let bad = || format!("bad way split '{pair}' (expects SRAM/NVM, e.g. 4/12)");
+            let (s, n) = pair.trim().split_once('/').ok_or_else(bad)?;
+            let s: usize = s.trim().parse().map_err(|_| bad())?;
+            let n: usize = n.trim().parse().map_err(|_| bad())?;
+            if s + n == 0 || s + n > hllc_config::MAX_WAYS {
+                return Err(format!(
+                    "bad way split '{pair}' (1 <= SRAM+NVM <= {})",
+                    hllc_config::MAX_WAYS
+                ));
+            }
+            Ok((s, n))
+        })
+        .collect::<Result<_, _>>()?;
+    if list.is_empty() {
+        return Err("--way-splits expects at least one SRAM/NVM pair".into());
+    }
+    Ok(list)
 }
 
 fn parse_jobs(v: &str) -> Result<usize, String> {
@@ -225,8 +334,8 @@ pub fn parse_record_args(argv: &[String]) -> Result<RecordArgs, String> {
                     .ok_or_else(|| "--cores needs a value".to_string())?
                     .parse()
                     .ok()
-                    .filter(|&c: &usize| (1..=8).contains(&c))
-                    .ok_or_else(|| "--cores expects 1..8".to_string())?;
+                    .filter(|&c: &usize| (1..=hllc_config::MAX_CORES).contains(&c))
+                    .ok_or_else(|| format!("--cores expects 1..{}", hllc_config::MAX_CORES))?;
             }
             "--out" => out = Some(it.next().ok_or("--out needs a value")?.clone()),
             "--json" => json = Some(it.next().ok_or("--json needs a value")?.clone()),
@@ -254,16 +363,20 @@ pub struct ReplayArgs {
     pub policy: Option<Policy>,
     /// Cycle-budget override; `None` uses the recording's budget.
     pub cycles: Option<f64>,
+    /// System override; `None` reconstructs the recorded system. When
+    /// given, the geometry must match the recording's.
+    pub spec: Option<ExperimentSpec>,
     /// Where to write the replay's stats JSON, if anywhere.
     pub json: Option<String>,
 }
 
 /// Parses the flags of `hllc replay`: a required `--trace <file>` plus
-/// optional `--policy`, `--cycles`, and `--json` overrides.
+/// optional `--policy`, `--cycles`, `--spec`, and `--json` overrides.
 pub fn parse_replay_args(argv: &[String]) -> Result<ReplayArgs, String> {
     let mut trace: Option<String> = None;
     let mut policy: Option<Policy> = None;
     let mut cycles: Option<f64> = None;
+    let mut spec: Option<ExperimentSpec> = None;
     let mut json: Option<String> = None;
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -284,6 +397,9 @@ pub fn parse_replay_args(argv: &[String]) -> Result<ReplayArgs, String> {
                         .map_err(|_| "--cycles expects a number".to_string())?,
                 );
             }
+            "--spec" => {
+                spec = Some(ExperimentSpec::resolve(value()?).map_err(|e| e.to_string())?);
+            }
             "--json" => json = Some(value()?.clone()),
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -292,7 +408,42 @@ pub fn parse_replay_args(argv: &[String]) -> Result<ReplayArgs, String> {
         trace: trace.ok_or_else(|| "replay requires --trace <file>".to_string())?,
         policy,
         cycles,
+        spec,
         json,
+    })
+}
+
+/// Arguments of `hllc spec`.
+#[derive(Clone, Debug)]
+pub struct SpecArgs {
+    /// The resolved spec (`--preset`/`--spec`; default `scaled`).
+    pub spec: ExperimentSpec,
+    /// Where to write the spec as pretty JSON instead of stdout.
+    pub dump: Option<String>,
+}
+
+/// Parses the flags of `hllc spec`: `--preset <name>` (or `--spec
+/// <file|preset>`) plus an optional `--dump <file>`.
+pub fn parse_spec_args(argv: &[String]) -> Result<SpecArgs, String> {
+    let mut spec: Option<ExperimentSpec> = None;
+    let mut dump: Option<String> = None;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--preset" | "--spec" => {
+                spec = Some(ExperimentSpec::resolve(value()?).map_err(|e| e.to_string())?);
+            }
+            "--dump" => dump = Some(value()?.clone()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(SpecArgs {
+        spec: match spec {
+            Some(s) => s,
+            None => ExperimentSpec::preset("scaled").expect("builtin preset"),
+        },
+        dump,
     })
 }
 
@@ -466,11 +617,40 @@ mod tests {
     #[test]
     fn parse_args_reads_every_flag() {
         let a = parse_args(&argv("--policy bh --mix 3 --cycles 5e5 --seed 7 --jobs 2")).unwrap();
-        assert_eq!(a.policy, Policy::Bh);
-        assert_eq!(a.mix, 2, "mixes are stored 0-based");
-        assert_eq!(a.cycles, 5.0e5);
-        assert_eq!(a.seed, 7);
+        assert_eq!(a.policy(), Policy::Bh);
+        assert_eq!(a.mix_index(), 2, "mixes are stored 1-based in the spec");
+        assert_eq!(a.cycles(), 5.0e5);
+        assert_eq!(a.seed(), 7);
         assert_eq!(a.jobs, 2);
+        assert!(!a.explicit_spec);
+    }
+
+    #[test]
+    fn parse_args_defaults_to_the_scaled_preset() {
+        let a = parse_args(&[]).unwrap();
+        assert_eq!(a.spec.name, "scaled");
+        assert_eq!(a.spec.system.llc_sets, 512);
+        assert_eq!(a.policy(), Policy::cp_sd());
+        assert_eq!(a.cycles(), 2.0e6);
+        assert_eq!(a.seed(), 42);
+    }
+
+    #[test]
+    fn parse_args_resolves_spec_presets_with_flag_edits_on_top() {
+        let a = parse_args(&argv("--spec waysplit-3-13 --policy bh --cycles 1e5")).unwrap();
+        assert!(a.explicit_spec);
+        assert_eq!(a.spec.system.sram_ways, 3);
+        assert_eq!(a.spec.system.nvm_ways, 13);
+        assert_eq!(a.policy(), Policy::Bh, "flags edit the resolved spec");
+        assert_eq!(a.cycles(), 1.0e5);
+    }
+
+    #[test]
+    fn parse_args_reports_spec_errors() {
+        let e = parse_args(&argv("--spec warp-speed")).unwrap_err();
+        assert!(e.contains("warp-speed"), "{e}");
+        let e = parse_args(&argv("--spec")).unwrap_err();
+        assert!(e.contains("needs a value"), "{e}");
     }
 
     #[test]
@@ -510,9 +690,20 @@ mod tests {
         assert_eq!(a.capacities, vec![1.0, 0.7]);
         assert_eq!(a.jobs, 4);
         assert_eq!(a.cycles, 1.0e5);
-        assert_eq!(a.seed, 9);
-        assert_eq!(a.sets, 256);
+        assert_eq!(a.spec.workload.seed, 9);
+        assert_eq!(a.spec.system.llc_sets, 256);
         assert_eq!(a.json.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn parse_sweep_args_reads_the_new_axes() {
+        let a = parse_sweep_args(&argv("--way-splits 4/12,3/13 --nvm-latency 1.0,1.5")).unwrap();
+        assert_eq!(a.way_splits, vec![(4, 12), (3, 13)]);
+        assert_eq!(a.nvm_latency_factors, vec![1.0, 1.5]);
+        // Defaults mirror the base spec: a singleton per axis.
+        let d = parse_sweep_args(&[]).unwrap();
+        assert_eq!(d.way_splits, vec![(4, 12)]);
+        assert_eq!(d.nvm_latency_factors, vec![1.0]);
     }
 
     #[test]
@@ -523,6 +714,13 @@ mod tests {
         assert!(parse_sweep_args(&argv("--seeds 0")).is_err());
         assert!(parse_sweep_args(&argv("--capacities 1.5")).is_err());
         assert!(parse_sweep_args(&argv("--capacities 0")).is_err());
+        assert!(parse_sweep_args(&argv("--way-splits 9/9")).is_err());
+        assert!(parse_sweep_args(&argv("--way-splits 4-12")).is_err());
+        assert!(parse_sweep_args(&argv("--nvm-latency 0")).is_err());
+        assert!(
+            parse_sweep_args(&argv("--sets 500")).is_err(),
+            "not a power of two"
+        );
         assert!(parse_sweep_args(&argv("--json")).is_err());
     }
 
@@ -544,10 +742,10 @@ mod tests {
             "--policy bh --mix 2 --cycles 1e5 --seed 3 --cores 2 --out t.trc --json s.json",
         ))
         .unwrap();
-        assert_eq!(a.run.policy, Policy::Bh);
-        assert_eq!(a.run.mix, 1);
-        assert_eq!(a.run.cycles, 1.0e5);
-        assert_eq!(a.run.seed, 3);
+        assert_eq!(a.run.policy(), Policy::Bh);
+        assert_eq!(a.run.mix_index(), 1);
+        assert_eq!(a.run.cycles(), 1.0e5);
+        assert_eq!(a.run.seed(), 3);
         assert_eq!(a.cores, 2);
         assert_eq!(a.out, "t.trc");
         assert_eq!(a.json.as_deref(), Some("s.json"));
@@ -557,7 +755,11 @@ mod tests {
     fn parse_record_args_requires_out_and_sane_cores() {
         assert!(parse_record_args(&argv("--cores 2")).is_err());
         assert!(parse_record_args(&argv("--out t.trc --cores 0")).is_err());
-        assert!(parse_record_args(&argv("--out t.trc --cores 9")).is_err());
+        assert!(parse_record_args(&argv("--out t.trc --cores 17")).is_err());
+        assert!(
+            parse_record_args(&argv("--out t.trc --cores 12")).is_ok(),
+            "the v2 header supports up to 16 cores"
+        );
         assert!(parse_record_args(&argv("--out t.trc --trace x.trc")).is_err());
         assert!(parse_record_args(&argv("--out t.trc")).is_ok());
     }
@@ -574,13 +776,29 @@ mod tests {
         assert_eq!(a.json.as_deref(), Some("r.json"));
         let d = parse_replay_args(&argv("--trace t.trc")).unwrap();
         assert!(d.policy.is_none() && d.cycles.is_none() && d.json.is_none());
+        assert!(d.spec.is_none());
+        let s = parse_replay_args(&argv("--trace t.trc --spec scaled")).unwrap();
+        assert_eq!(s.spec.map(|s| s.name), Some("scaled".to_string()));
     }
 
     #[test]
     fn parse_replay_args_rejects_bad_flags() {
         assert!(parse_replay_args(&argv("--policy bh")).is_err(), "no trace");
         assert!(parse_replay_args(&argv("--trace t.trc --policy nope")).is_err());
+        assert!(parse_replay_args(&argv("--trace t.trc --spec nope")).is_err());
         assert!(parse_replay_args(&argv("--trace t.trc --frobnicate 1")).is_err());
+    }
+
+    #[test]
+    fn parse_spec_args_resolves_presets_and_dumps() {
+        let a = parse_spec_args(&argv("--preset paper --dump out.json")).unwrap();
+        assert_eq!(a.spec.name, "paper");
+        assert_eq!(a.dump.as_deref(), Some("out.json"));
+        let d = parse_spec_args(&[]).unwrap();
+        assert_eq!(d.spec.name, "scaled");
+        assert!(d.dump.is_none());
+        assert!(parse_spec_args(&argv("--preset warp-speed")).is_err());
+        assert!(parse_spec_args(&argv("--frobnicate 1")).is_err());
     }
 
     #[test]
@@ -604,7 +822,7 @@ mod tests {
         assert!(!parse_args(&argv("--policy bh")).unwrap().json);
         let a = parse_args(&argv("--policy bh --json")).unwrap();
         assert!(a.json);
-        assert_eq!(a.policy, Policy::Bh);
+        assert_eq!(a.policy(), Policy::Bh);
     }
 
     #[test]
@@ -636,7 +854,8 @@ mod tests {
         let a = parse_sweep_args(&[]).unwrap();
         assert!(!a.policies.is_empty());
         assert!(!a.mixes.is_empty());
-        assert!(a.seeds >= 1 && a.jobs >= 1 && a.sets >= 1);
+        assert!(a.seeds >= 1 && a.jobs >= 1);
+        assert_eq!(a.spec.name, "scaled");
         assert!(a.json.is_none());
     }
 }

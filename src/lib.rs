@@ -21,6 +21,7 @@
 //! | [`llc`] | `hllc-core` | the hybrid LLC and every insertion policy |
 //! | [`trace`] | `hllc-trace` | synthetic SPEC-like workloads and mixes |
 //! | [`traceio`] | `hllc-traceio` | binary trace capture and replay |
+//! | [`config`] | `hllc-config` | experiment specifications and presets |
 //! | [`forecast`] | `hllc-forecast` | the aging forecast procedure |
 //! | [`runner`] | `hllc-runner` | deterministic parallel experiment runner |
 //! | [`bench`] | `hllc-bench` | figure/table harnesses and the kernel throughput bench |
@@ -28,19 +29,20 @@
 //! # Quickstart
 //!
 //! ```
-//! use hybrid_llc::llc::{HybridConfig, HybridLlc, Policy};
-//! use hybrid_llc::sim::{Hierarchy, LlcPort, SystemConfig};
+//! use hybrid_llc::config::ExperimentSpec;
+//! use hybrid_llc::llc::HybridLlc;
+//! use hybrid_llc::sim::{Hierarchy, LlcPort};
 //! use hybrid_llc::trace::{drive_accesses, mixes};
 //!
-//! // A scaled-down system running the paper's CP_SD policy on mix 1.
-//! let mut system = SystemConfig::scaled_down();
-//! system.llc.sets = 256;
-//! let mix = &mixes()[0];
-//! let llc = HybridLlc::new(
-//!     &HybridConfig::from_geometry(system.llc, Policy::cp_sd()).with_epoch_cycles(100_000),
-//! );
-//! let mut hierarchy = Hierarchy::new(&system, llc, mix.data_model(1));
-//! let mut streams = mix.instantiate(256.0 / 4096.0, 1);
+//! // The scaled-down preset running the paper's CP_SD policy on mix 1,
+//! // shrunk to 256 sets for an even faster demo.
+//! let mut spec = ExperimentSpec::preset("scaled").unwrap();
+//! spec.system.llc_sets = 256;
+//! spec.validate().unwrap();
+//! let mix = &mixes()[spec.mix_index()];
+//! let llc = HybridLlc::new(&spec.llc_config());
+//! let mut hierarchy = Hierarchy::new(&spec.system_config(), llc, mix.data_model(1));
+//! let mut streams = mix.instantiate(spec.footprint_scale(), 1);
 //! drive_accesses(&mut hierarchy, &mut streams, 50_000);
 //! println!(
 //!     "IPC {:.3}, LLC hit rate {:.3}, NVM bytes written {}",
@@ -55,6 +57,7 @@
 
 pub use hllc_bench as bench;
 pub use hllc_compress as compress;
+pub use hllc_config as config;
 pub use hllc_core as llc;
 pub use hllc_ecc as ecc;
 pub use hllc_forecast as forecast;
@@ -68,6 +71,7 @@ pub mod cli;
 pub mod session;
 
 // The types nearly every user touches, re-exported at the crate root.
+pub use hllc_config::ExperimentSpec;
 pub use hllc_core::{HybridConfig, HybridLlc, Policy};
 pub use hllc_forecast::{Forecast, ForecastConfig, ForecastSeries};
 pub use hllc_sim::{Hierarchy, LlcPort, SystemConfig};

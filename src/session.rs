@@ -1,20 +1,27 @@
 //! One simulation session shared by `run`, `record`, `replay`, and
 //! `compare`.
 //!
-//! All four commands execute the same recipe — scaled-down system, 20%
-//! warm-up, statistics reset, then the measured window — and differ only in
-//! where references and block sizes come from: a synthetic mix, a tapped
-//! mix being recorded, or a trace file being replayed. Keeping the recipe
-//! in one function is what makes record/replay round trips byte-comparable:
-//! the round-trip tests diff [`stats_json`] output of a live run against a
-//! replay of its recording.
+//! All four commands execute the same recipe — the spec's system, its
+//! warm-up fraction, statistics reset, then the measured window — and
+//! differ only in where references and block sizes come from: a synthetic
+//! mix, a tapped mix being recorded, or a trace file being replayed.
+//! Keeping the recipe in one function is what makes record/replay round
+//! trips byte-comparable: the round-trip tests diff [`stats_json`] output
+//! of a live run against a replay of its recording.
+//!
+//! Recordings embed the resolved [`ExperimentSpec`] in the trace header
+//! (format v2), so [`replay_session`] reconstructs the exact recorded
+//! system; v1 traces fall back to the `scaled` preset at the recorded set
+//! count, which is what every v1 recording was made with.
 
 use serde_json::{json, Value};
 
 use crate::cli::Args;
-use crate::llc::{HybridConfig, HybridLlc, Policy};
-use crate::sim::{DataModel, Hierarchy, HierarchyStats, LlcPort, LlcStats, SystemConfig};
+use crate::llc::{HybridLlc, Policy};
+use crate::sim::{DataModel, Hierarchy, HierarchyStats, LlcPort, LlcStats};
 use crate::trace::{drive_cycles, mixes, RefSource};
+use hllc_config::ExperimentSpec;
+
 use crate::traceio::{Recorder, ReplayStream, TraceContent, TraceData, TraceHeader};
 
 /// The measurements of one session: the live `run` printout and the
@@ -39,30 +46,22 @@ pub struct SessionStats {
     pub dueling_epochs: Option<(u64, usize)>,
 }
 
-/// The paper's LLC configuration over `geometry`, shared by every
-/// single-phase command.
-pub fn llc_config(geometry: crate::sim::LlcGeometry, policy: Policy) -> HybridConfig {
-    HybridConfig::from_geometry(geometry, policy)
-        .with_endurance(1e8, 0.2)
-        .with_epoch_cycles(100_000)
-        .with_dueling_smoothing(0.6)
-}
-
-/// Runs the shared recipe over arbitrary reference sources: 20% of
-/// `cycles` warm-up, statistics reset, then a `1.2 * cycles` measured
-/// window.
+/// Runs the spec's recipe over arbitrary reference sources:
+/// `spec.run.warmup_fraction * cycles` of warm-up, statistics reset, then
+/// a `cycles`-long measured window.
 pub fn run_session<S: RefSource, D: DataModel>(
-    system: &SystemConfig,
+    spec: &ExperimentSpec,
     policy: Policy,
     cycles: f64,
     streams: &mut [S],
     data: D,
 ) -> SessionStats {
-    let llc = HybridLlc::new(&llc_config(system.llc, policy));
-    let mut h = Hierarchy::new(system, llc, data);
-    drive_cycles(&mut h, streams, 0.2 * cycles);
+    let llc = HybridLlc::new(&spec.llc_config_for(policy));
+    let mut h = Hierarchy::new(&spec.system_config(), llc, data);
+    let warmup = spec.run.warmup_fraction * cycles;
+    drive_cycles(&mut h, streams, warmup);
     h.reset_stats();
-    let accesses = drive_cycles(&mut h, streams, 1.2 * cycles);
+    let accesses = drive_cycles(&mut h, streams, warmup + cycles);
     SessionStats {
         ipc: h.system_ipc(),
         accesses,
@@ -77,18 +76,18 @@ pub fn run_session<S: RefSource, D: DataModel>(
 }
 
 /// Runs `args` live from the synthetic mix on the first `cores` of the
-/// scaled-down system.
+/// spec's system.
 pub fn live_session(args: &Args, cores: usize) -> SessionStats {
-    let system = SystemConfig::scaled_down();
-    let mix = &mixes()[args.mix];
-    let mut streams = mix.instantiate(system.llc.sets as f64 / 4096.0, args.seed);
-    streams.truncate(cores.clamp(1, system.cores));
+    let spec = &args.spec;
+    let mix = &mixes()[spec.mix_index()];
+    let mut streams = mix.instantiate(spec.footprint_scale(), spec.workload.seed);
+    streams.truncate(cores.clamp(1, spec.system.cores));
     run_session(
-        &system,
-        args.policy,
-        args.cycles,
+        spec,
+        args.policy(),
+        spec.run.cycles,
         &mut streams,
-        mix.data_model(args.seed),
+        mix.data_model(spec.workload.seed),
     )
 }
 
@@ -100,18 +99,18 @@ pub fn record_session<W: std::io::Write>(
     cores: usize,
     writer: crate::traceio::TraceWriter<W>,
 ) -> Result<(SessionStats, W), String> {
-    let system = SystemConfig::scaled_down();
-    let cores = cores.clamp(1, system.cores);
-    let mix = &mixes()[args.mix];
+    let spec = &args.spec;
+    let cores = cores.clamp(1, spec.system.cores);
+    let mix = &mixes()[spec.mix_index()];
     let recorder = Recorder::new(writer);
     let mut streams: Vec<_> = mix
-        .instantiate(system.llc.sets as f64 / 4096.0, args.seed)
+        .instantiate(spec.footprint_scale(), spec.workload.seed)
         .into_iter()
         .take(cores)
         .map(|s| recorder.stream(s))
         .collect();
-    let data = recorder.data(mix.data_model(args.seed));
-    let stats = run_session(&system, args.policy, args.cycles, &mut streams, data);
+    let data = recorder.data(mix.data_model(spec.workload.seed));
+    let stats = run_session(spec, args.policy(), spec.run.cycles, &mut streams, data);
     drop(streams);
     let mut sink = recorder.finish().map_err(|e| e.to_string())?;
     sink.flush()
@@ -119,41 +118,100 @@ pub fn record_session<W: std::io::Write>(
     Ok((stats, sink))
 }
 
-/// The header a recording of `args` carries.
+/// The header a recording of `args` carries: the legacy summary fields
+/// plus the full resolved spec as an embedded JSON blob (format v2).
 pub fn recording_header(args: &Args, cores: usize) -> TraceHeader {
-    let system = SystemConfig::scaled_down();
+    let spec = &args.spec;
+    let spec_text = serde_json::to_string(&spec.to_json()).expect("spec serialization cannot fail");
     TraceHeader {
-        cores: cores.clamp(1, system.cores) as u8,
-        mix: (args.mix + 1) as u8,
-        seed: args.seed,
-        sets: system.llc.sets as u32,
-        cycles: args.cycles,
-        policy: args.policy.name().to_string(),
-        workload: mixes()[args.mix].name.to_string(),
+        cores: cores.clamp(1, spec.system.cores) as u8,
+        mix: spec.workload.mix as u8,
+        seed: spec.workload.seed,
+        sets: spec.system.llc_sets as u32,
+        cycles: spec.run.cycles,
+        policy: args.policy().name().to_string(),
+        workload: mixes()[spec.mix_index()].name.to_string(),
+        spec_json: Some(spec_text),
+    }
+}
+
+/// The experiment a recording was made under: the embedded spec when the
+/// header carries one (v2), else the `scaled` preset at the recorded set
+/// count (every v1 recording's system).
+pub fn trace_spec(content: &TraceContent) -> Result<ExperimentSpec, String> {
+    match &content.header.spec_json {
+        Some(text) => ExperimentSpec::from_str(text)
+            .map_err(|e| format!("embedded spec in trace header: {e}")),
+        None => {
+            let mut spec = ExperimentSpec::preset("scaled").expect("builtin preset");
+            spec.system.llc_sets = content.header.sets as usize;
+            spec.workload.seed = content.header.seed;
+            if (1..=10).contains(&usize::from(content.header.mix)) {
+                spec.workload.mix = usize::from(content.header.mix);
+            }
+            spec.validate()
+                .map_err(|e| format!("trace header implies an invalid system: {e}"))?;
+            Ok(spec)
+        }
     }
 }
 
 /// Replays a loaded trace under `policy` for `cycles` (the recording's own
-/// budget when `None`). Under the recorded policy and cycle budget the
-/// result is bit-identical to the recorded live run.
+/// budget when `None`) on the recorded system — see [`trace_spec`]. Under
+/// the recorded policy and cycle budget the result is bit-identical to the
+/// recorded live run.
 pub fn replay_session(
     content: &TraceContent,
     policy: Policy,
     cycles: Option<f64>,
 ) -> Result<SessionStats, String> {
-    let mut system = SystemConfig::scaled_down();
-    let cores = usize::from(content.header.cores);
-    if cores > system.cores {
+    let spec = trace_spec(content)?;
+    replay_session_with(content, &spec, policy, cycles)
+}
+
+/// Replays a loaded trace on an explicitly requested system. The spec's
+/// geometry must match the recording's — replaying 512-set references
+/// onto a different set count or way split would silently measure a
+/// system the trace was never recorded for.
+pub fn replay_session_with(
+    content: &TraceContent,
+    spec: &ExperimentSpec,
+    policy: Policy,
+    cycles: Option<f64>,
+) -> Result<SessionStats, String> {
+    let recorded = trace_spec(content)?;
+    let mut mismatches = Vec::new();
+    for (field, want, got) in [
+        ("llc_sets", recorded.system.llc_sets, spec.system.llc_sets),
+        (
+            "sram_ways",
+            recorded.system.sram_ways,
+            spec.system.sram_ways,
+        ),
+        ("nvm_ways", recorded.system.nvm_ways, spec.system.nvm_ways),
+        ("cores", recorded.system.cores, spec.system.cores),
+    ] {
+        if want != got {
+            mismatches.push(format!("{field}: spec {got} vs recording {want}"));
+        }
+    }
+    if !mismatches.is_empty() {
         return Err(format!(
-            "trace has {cores} cores but the system only has {}",
-            system.cores
+            "geometry mismatch between --spec and the recording: {}",
+            mismatches.join(", ")
         ));
     }
-    system.llc.sets = content.header.sets as usize;
+    let cores = usize::from(content.header.cores);
+    if cores > spec.system.cores {
+        return Err(format!(
+            "trace has {cores} cores but the system only has {}",
+            spec.system.cores
+        ));
+    }
     let mut streams = ReplayStream::per_core(content);
     let data = TraceData::from_content(content);
     let cycles = cycles.unwrap_or(content.header.cycles);
-    Ok(run_session(&system, policy, cycles, &mut streams, data))
+    Ok(run_session(spec, policy, cycles, &mut streams, data))
 }
 
 /// Renders session stats as JSON with sorted keys — two sessions are
@@ -200,15 +258,7 @@ mod tests {
     use crate::traceio::{TraceReader, TraceWriter};
 
     fn args() -> Args {
-        Args {
-            policy: Policy::cp_sd(),
-            mix: 0,
-            cycles: 40_000.0,
-            seed: 7,
-            jobs: 1,
-            trace: None,
-            json: false,
-        }
+        Args::scaled(Policy::cp_sd(), 0, 40_000.0, 7)
     }
 
     #[test]
@@ -227,7 +277,7 @@ mod tests {
         let (live, bytes) = record_session(&a, 2, writer).unwrap();
         let content = TraceReader::new(&bytes[..]).unwrap().read_to_end().unwrap();
         assert_eq!(content.header.cores, 2);
-        let replayed = replay_session(&content, a.policy, None).unwrap();
+        let replayed = replay_session(&content, a.policy(), None).unwrap();
         assert_eq!(live, replayed, "replay diverged from the recorded run");
         let lhs = stats_json("cp_sd", "mix1", &live);
         let rhs = stats_json("cp_sd", "mix1", &replayed);
@@ -235,6 +285,16 @@ mod tests {
             serde_json::to_string_pretty(&lhs).unwrap(),
             serde_json::to_string_pretty(&rhs).unwrap()
         );
+    }
+
+    #[test]
+    fn recordings_embed_the_spec() {
+        let a = args();
+        let writer = TraceWriter::new(Vec::new(), &recording_header(&a, 2)).unwrap();
+        let (_, bytes) = record_session(&a, 2, writer).unwrap();
+        let content = TraceReader::new(&bytes[..]).unwrap().read_to_end().unwrap();
+        let spec = trace_spec(&content).unwrap();
+        assert_eq!(spec, a.spec, "embedded spec did not round trip");
     }
 
     #[test]
@@ -246,5 +306,23 @@ mod tests {
         let other = replay_session(&content, Policy::Bh, None).unwrap();
         assert!(other.ipc > 0.0);
         assert!(other.llc.requests() > 0);
+    }
+
+    #[test]
+    fn replay_with_mismatched_spec_names_the_geometry() {
+        let a = args();
+        let writer = TraceWriter::new(Vec::new(), &recording_header(&a, 2)).unwrap();
+        let (_, bytes) = record_session(&a, 2, writer).unwrap();
+        let content = TraceReader::new(&bytes[..]).unwrap().read_to_end().unwrap();
+        let mut other = a.spec.clone();
+        other.system.llc_sets = 1024;
+        other.system.sram_ways = 3;
+        other.system.nvm_ways = 13;
+        let e = replay_session_with(&content, &other, Policy::Bh, None).unwrap_err();
+        assert!(e.contains("geometry mismatch"), "{e}");
+        assert!(e.contains("llc_sets: spec 1024 vs recording 512"), "{e}");
+        assert!(e.contains("sram_ways"), "{e}");
+        // A matching spec replays fine.
+        assert!(replay_session_with(&content, &a.spec, Policy::Bh, None).is_ok());
     }
 }

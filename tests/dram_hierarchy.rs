@@ -1,16 +1,23 @@
 //! Integration of the banked open-page DRAM model with the hierarchy.
 
-use hybrid_llc::llc::{HybridConfig, HybridLlc, Policy};
-use hybrid_llc::sim::{Access, DramConfig, Hierarchy, SystemConfig};
+use hybrid_llc::config::ExperimentSpec;
+use hybrid_llc::llc::{HybridLlc, Policy};
+use hybrid_llc::sim::{Access, Hierarchy};
 use hybrid_llc::trace::{drive_cycles, mixes};
+
+fn scaled_spec() -> ExperimentSpec {
+    ExperimentSpec::preset("scaled").expect("builtin preset")
+}
 
 #[test]
 fn streaming_misses_enjoy_row_buffer_hits() {
-    let mut cfg = SystemConfig::scaled_down();
-    cfg.cores = 1;
-    cfg.llc.sets = 64;
-    cfg = cfg.with_dram(DramConfig::ddr4_single_channel());
-    let llc = HybridLlc::new(&HybridConfig::from_geometry(cfg.llc, Policy::Bh));
+    let mut spec = scaled_spec();
+    spec.system.cores = 1;
+    spec.system.llc_sets = 64;
+    spec.system.dram = true;
+    spec.validate().unwrap();
+    let cfg = spec.system_config();
+    let llc = HybridLlc::new(&spec.llc_config_for(Policy::Bh));
     let mut h = Hierarchy::new(&cfg, llc, hllc_sim_const());
 
     // A long sequential sweep: every LLC miss goes to consecutive blocks.
@@ -27,13 +34,14 @@ fn streaming_misses_enjoy_row_buffer_hits() {
 #[test]
 fn dram_model_slows_random_traffic_more_than_streams() {
     let run = |mix_idx: usize| -> f64 {
-        let cfg = SystemConfig::scaled_down().with_dram(DramConfig::ddr4_single_channel());
+        let mut spec = scaled_spec();
+        spec.system.dram = true;
+        spec.validate().unwrap();
+        let cfg = spec.system_config();
         let mix = &mixes()[mix_idx];
-        let llc = HybridLlc::new(
-            &HybridConfig::from_geometry(cfg.llc, Policy::Bh).with_endurance(1e8, 0.2),
-        );
+        let llc = HybridLlc::new(&spec.llc_config_for(Policy::Bh));
         let mut h = Hierarchy::new(&cfg, llc, mix.data_model(3));
-        let mut streams = mix.instantiate(0.125, 3);
+        let mut streams = mix.instantiate(spec.footprint_scale(), 3);
         drive_cycles(&mut h, &mut streams, 600_000.0);
         let (hits, misses, conflicts) = h.dram().unwrap().stats();
         hits as f64 / (hits + misses + conflicts).max(1) as f64
@@ -46,8 +54,9 @@ fn dram_model_slows_random_traffic_more_than_streams() {
 
 #[test]
 fn hierarchy_without_dram_has_no_model() {
-    let cfg = SystemConfig::scaled_down();
-    let llc = HybridLlc::new(&HybridConfig::from_geometry(cfg.llc, Policy::Bh));
+    let spec = scaled_spec();
+    let cfg = spec.system_config();
+    let llc = HybridLlc::new(&spec.llc_config_for(Policy::Bh));
     let h = Hierarchy::new(&cfg, llc, hllc_sim_const());
     assert!(h.dram().is_none());
 }

@@ -2,29 +2,33 @@
 //! synthetic mixes, checking cross-policy invariants the paper's story
 //! rests on.
 
-use hybrid_llc::llc::{HybridConfig, HybridLlc, Policy};
-use hybrid_llc::sim::{Hierarchy, LlcStats, SystemConfig};
+use hybrid_llc::config::ExperimentSpec;
+use hybrid_llc::llc::{HybridLlc, Policy};
+use hybrid_llc::sim::{Hierarchy, LlcStats};
 use hybrid_llc::trace::{drive_cycles, mixes, WorkloadData};
 use hybrid_llc::LlcPort;
 
 const SETS: usize = 128;
 
-fn small_system() -> SystemConfig {
-    let mut cfg = SystemConfig::scaled_down();
-    cfg.llc.sets = SETS;
-    cfg
+/// The scaled preset shrunk to [`SETS`] sets with a faster dueling epoch,
+/// so every policy converges within the short windows below.
+fn small_spec() -> ExperimentSpec {
+    let mut spec = ExperimentSpec::preset("scaled").expect("builtin preset");
+    spec.system.llc_sets = SETS;
+    spec.hybrid.epoch_cycles = 50_000;
+    spec.validate().expect("128-set scaled variant");
+    spec
 }
 
 fn run_policy(policy: Policy, mix_idx: usize) -> (LlcStats, f64) {
-    let system = small_system();
+    let spec = small_spec();
     let mix = &mixes()[mix_idx];
-    let llc_cfg = HybridConfig::from_geometry(system.llc, policy)
-        .with_endurance(1e8, 0.2)
-        .with_epoch_cycles(50_000)
-        .with_dueling_smoothing(0.6);
-    let mut h: Hierarchy<HybridLlc, WorkloadData> =
-        Hierarchy::new(&system, HybridLlc::new(&llc_cfg), mix.data_model(5));
-    let mut streams = mix.instantiate(SETS as f64 / 4096.0, 5);
+    let mut h: Hierarchy<HybridLlc, WorkloadData> = Hierarchy::new(
+        &spec.system_config(),
+        HybridLlc::new(&spec.llc_config_for(policy)),
+        mix.data_model(5),
+    );
+    let mut streams = mix.instantiate(spec.footprint_scale(), 5);
     drive_cycles(&mut h, &mut streams, 100_000.0);
     h.reset_stats();
     drive_cycles(&mut h, &mut streams, 500_000.0);
@@ -106,14 +110,14 @@ fn th_rule_trades_hits_for_writes() {
 
 #[test]
 fn every_access_is_served_exactly_once() {
-    let system = small_system();
+    let spec = small_spec();
     let mix = &mixes()[0];
-    let llc_cfg = HybridConfig::from_geometry(system.llc, Policy::cp_sd())
-        .with_endurance(1e8, 0.2)
-        .with_epoch_cycles(50_000);
-    let mut h: Hierarchy<HybridLlc, WorkloadData> =
-        Hierarchy::new(&system, HybridLlc::new(&llc_cfg), mix.data_model(5));
-    let mut streams = mix.instantiate(SETS as f64 / 4096.0, 5);
+    let mut h: Hierarchy<HybridLlc, WorkloadData> = Hierarchy::new(
+        &spec.system_config(),
+        HybridLlc::new(&spec.llc_config_for(Policy::cp_sd())),
+        mix.data_model(5),
+    );
+    let mut streams = mix.instantiate(spec.footprint_scale(), 5);
     drive_cycles(&mut h, &mut streams, 300_000.0);
     let s = h.stats();
     let served: u64 = s.services.iter().sum();
@@ -140,11 +144,9 @@ fn runs_are_deterministic() {
 #[test]
 fn aged_cache_serves_fewer_hits() {
     use rand::SeedableRng;
-    let system = small_system();
+    let spec = small_spec();
     let mix = &mixes()[0];
-    let llc_cfg = HybridConfig::from_geometry(system.llc, Policy::cp_sd())
-        .with_endurance(1e8, 0.2)
-        .with_epoch_cycles(50_000);
+    let llc_cfg = spec.llc_config_for(Policy::cp_sd());
 
     let mut hit_rates = Vec::new();
     for capacity in [1.0, 0.6] {
@@ -153,8 +155,8 @@ fn aged_cache_serves_fewer_hits() {
             let mut rng = rand::rngs::StdRng::seed_from_u64(1);
             llc.array_mut().unwrap().degrade_to(capacity, &mut rng);
         }
-        let mut h = Hierarchy::new(&system, llc, mix.data_model(5));
-        let mut streams = mix.instantiate(SETS as f64 / 4096.0, 5);
+        let mut h = Hierarchy::new(&spec.system_config(), llc, mix.data_model(5));
+        let mut streams = mix.instantiate(spec.footprint_scale(), 5);
         drive_cycles(&mut h, &mut streams, 100_000.0);
         h.reset_stats();
         drive_cycles(&mut h, &mut streams, 500_000.0);

@@ -2,29 +2,25 @@
 //! orderings between policies, capacity monotonicity, and the scaled-
 //! endurance equivalence the harnesses rely on.
 
+use hybrid_llc::config::ExperimentSpec;
 use hybrid_llc::forecast::{Forecast, ForecastConfig};
-use hybrid_llc::llc::{HybridConfig, Policy};
-use hybrid_llc::sim::SystemConfig;
+use hybrid_llc::llc::Policy;
 use hybrid_llc::trace::mixes;
 
 fn tiny(policy: Policy, endurance_mean: f64) -> ForecastConfig {
-    let mut system = SystemConfig::scaled_down();
-    system.llc.sets = 128;
-    let llc = HybridConfig::new(128, 4, 12, policy)
-        .with_endurance(endurance_mean, 0.2)
-        .with_epoch_cycles(50_000)
-        .with_dueling_smoothing(0.6);
-    ForecastConfig {
-        system,
-        llc,
-        warmup_cycles: 5.0e4,
-        measure_cycles: 2.0e5,
-        capacity_step: 0.06,
-        max_step_seconds: 1.0e4,
-        stop_capacity: 0.5,
-        max_steps: 22,
-        compressor: hybrid_llc::compress::CompressorKind::Bdi,
-    }
+    let mut spec = ExperimentSpec::preset("scaled").expect("builtin preset");
+    spec.system.llc_sets = 128;
+    spec.hybrid.policy = policy.label();
+    spec.hybrid.endurance_mean = endurance_mean;
+    spec.hybrid.epoch_cycles = 50_000;
+    spec.forecast.warmup_cycles = 5.0e4;
+    spec.forecast.measure_cycles = 2.0e5;
+    spec.forecast.capacity_step = 0.06;
+    spec.forecast.max_step_seconds = 1.0e4;
+    spec.forecast.stop_capacity = 0.5;
+    spec.forecast.max_steps = 22;
+    spec.validate().expect("128-set forecast variant");
+    ForecastConfig::from_spec(&spec)
 }
 
 #[test]

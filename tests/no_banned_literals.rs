@@ -1,0 +1,73 @@
+//! Configuration literals live in one place: `crates/config`. This test
+//! walks every Rust source file in the workspace and fails if a geometry
+//! or knob literal that `ExperimentSpec` owns leaks back into another
+//! layer — the regression the spec refactor exists to prevent.
+
+use std::path::Path;
+
+/// The banned patterns, assembled by concatenation so this file does not
+/// match itself.
+fn banned() -> Vec<String> {
+    let paren = "(";
+    vec![
+        // The deleted scaled-geometry constructor.
+        format!("scaled_down{paren}"),
+        // The scaled-endurance knob triple the `scaled` preset owns.
+        format!("with_endurance{paren}1e8, 0.2)"),
+        format!("with_epoch_cycles{paren}100_000)"),
+        // The footprint-scale denominator: use `footprint_scale()`.
+        format!("/ {}.0", 4096),
+        format!("/ {}_0.0", 409),
+    ]
+}
+
+fn check_file(path: &Path, patterns: &[String], offenders: &mut Vec<String>) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return;
+    };
+    for (lineno, line) in text.lines().enumerate() {
+        for p in patterns {
+            if line.contains(p.as_str()) {
+                offenders.push(format!("{}:{}: {line}", path.display(), lineno + 1));
+            }
+        }
+    }
+}
+
+fn walk(dir: &Path, patterns: &[String], offenders: &mut Vec<String>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // Skip the one crate allowed to own the literals, third-party
+            // code, and build products.
+            if name == "target" || name == "vendor" || name == ".git" {
+                continue;
+            }
+            if path.ends_with("crates/config") {
+                continue;
+            }
+            walk(&path, patterns, offenders);
+        } else if name.ends_with(".rs") {
+            check_file(&path, patterns, offenders);
+        }
+    }
+}
+
+#[test]
+fn config_literals_do_not_leak_outside_the_config_crate() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let patterns = banned();
+    let mut offenders = Vec::new();
+    walk(root, &patterns, &mut offenders);
+    assert!(
+        offenders.is_empty(),
+        "banned configuration literals outside crates/config \
+         (route them through ExperimentSpec):\n{}",
+        offenders.join("\n")
+    );
+}

@@ -1,0 +1,110 @@
+//! The experiment-spec contract: every named preset survives a JSON round
+//! trip unchanged, the checked-in `specs/` files are exactly the presets,
+//! and malformed specs fail with errors that name the offending field.
+
+use hybrid_llc::config::{ExperimentSpec, SpecError};
+
+#[test]
+fn every_preset_validates_and_round_trips() {
+    let names = ExperimentSpec::preset_names();
+    assert!(names.contains(&"paper") && names.contains(&"scaled"));
+    for name in names {
+        let spec = ExperimentSpec::preset(name).unwrap_or_else(|e| panic!("preset {name}: {e}"));
+        spec.validate()
+            .unwrap_or_else(|e| panic!("preset {name} invalid: {e}"));
+        let text = spec.to_string_pretty();
+        let back = ExperimentSpec::from_str(&text)
+            .unwrap_or_else(|e| panic!("preset {name} reparse: {e}"));
+        assert_eq!(
+            spec, back,
+            "preset {name} did not survive a JSON round trip"
+        );
+        assert_eq!(
+            text,
+            back.to_string_pretty(),
+            "preset {name} re-render is not a fixed point"
+        );
+    }
+}
+
+#[test]
+fn checked_in_spec_files_are_the_presets() {
+    for name in ExperimentSpec::preset_names() {
+        let path = format!("{}/specs/{name}.json", env!("CARGO_MANIFEST_DIR"));
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        let preset = ExperimentSpec::preset(name).unwrap();
+        assert_eq!(
+            text,
+            preset.to_string_pretty(),
+            "{path} drifted from the built-in preset; regenerate with \
+             `hllc spec --preset {name} --dump {path}`"
+        );
+    }
+}
+
+#[test]
+fn resolve_accepts_presets_and_files() {
+    let by_name = ExperimentSpec::resolve("scaled").unwrap();
+    let path = format!("{}/specs/scaled.json", env!("CARGO_MANIFEST_DIR"));
+    let by_file = ExperimentSpec::resolve(&path).unwrap();
+    assert_eq!(by_name, by_file);
+}
+
+#[test]
+fn unknown_preset_lists_the_valid_names() {
+    let e = ExperimentSpec::preset("no-such-preset")
+        .unwrap_err()
+        .to_string();
+    assert!(e.contains("no-such-preset"), "{e}");
+    assert!(e.contains("paper"), "error should list valid presets: {e}");
+}
+
+#[test]
+fn out_of_range_fields_are_named_in_the_error() {
+    let mut spec = ExperimentSpec::preset("scaled").unwrap();
+    spec.system.llc_sets = 500; // not a power of two
+    let e = spec.validate().unwrap_err();
+    assert!(
+        matches!(&e, SpecError::Invalid { field, .. } if field == "system.llc_sets"),
+        "expected system.llc_sets to be named, got {e}"
+    );
+
+    let mut spec = ExperimentSpec::preset("scaled").unwrap();
+    spec.system.sram_ways = 10;
+    spec.system.nvm_ways = 10; // 20 ways total, over MAX_WAYS
+    let e = spec.validate().unwrap_err().to_string();
+    assert!(e.contains("ways"), "{e}");
+
+    let mut spec = ExperimentSpec::preset("scaled").unwrap();
+    spec.workload.mix = 11;
+    let e = spec.validate().unwrap_err();
+    assert!(
+        matches!(&e, SpecError::Invalid { field, .. } if field == "workload.mix"),
+        "expected workload.mix to be named, got {e}"
+    );
+}
+
+#[test]
+fn unknown_json_fields_are_named_in_the_error() {
+    let mut text = ExperimentSpec::preset("scaled").unwrap().to_string_pretty();
+    text = text.replace("\"cores\": 4", "\"cores\": 4,\n    \"coress\": 4");
+    let e = ExperimentSpec::from_str(&text).unwrap_err();
+    assert!(
+        matches!(&e, SpecError::UnknownField { field } if field == "system.coress"),
+        "expected system.coress to be named, got {e}"
+    );
+}
+
+#[test]
+fn malformed_json_fails_with_a_parse_error() {
+    let e = ExperimentSpec::from_str("{ not json").unwrap_err();
+    assert!(matches!(e, SpecError::Json { .. }), "got {e}");
+}
+
+#[test]
+fn missing_spec_file_names_the_path() {
+    let e = ExperimentSpec::load("/nonexistent/spec.json")
+        .unwrap_err()
+        .to_string();
+    assert!(e.contains("/nonexistent/spec.json"), "{e}");
+}

@@ -1,17 +1,23 @@
 //! The runner's headline guarantee: a sweep's JSON report is byte-identical
 //! for every `--jobs` setting.
 
+use hybrid_llc::config::ExperimentSpec;
 use hybrid_llc::llc::Policy;
 use hybrid_llc::runner::{report_json, run_sweep, SweepSpec};
 
 fn spec(threads: usize) -> SweepSpec {
+    let mut exp = ExperimentSpec::preset("scaled").expect("builtin preset");
+    exp.system.llc_sets = 64;
+    exp.validate().expect("64-set scaled variant");
     SweepSpec {
         policies: vec![("bh".into(), Policy::Bh), ("cp_sd".into(), Policy::cp_sd())],
         mixes: vec![0, 1],
         seeds: 2,
         capacities: vec![1.0, 0.7],
+        way_splits: vec![(4, 12)],
+        nvm_latency_factors: vec![1.0],
         base_seed: 42,
-        sets: 64,
+        spec: exp,
         warmup_cycles: 5_000.0,
         measure_cycles: 10_000.0,
         threads,

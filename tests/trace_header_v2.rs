@@ -1,0 +1,90 @@
+//! Trace-header version 2: recordings embed the resolved experiment spec,
+//! version-1 files from before the spec existed still replay bit-
+//! identically, and replaying under a mismatched `--spec` fails with an
+//! error naming the divergent geometry.
+
+use hybrid_llc::cli::Args;
+use hybrid_llc::llc::Policy;
+use hybrid_llc::session::{
+    record_session, recording_header, replay_session_with, stats_json, trace_spec,
+};
+use hybrid_llc::traceio::{TraceContent, TraceReader, TraceWriter};
+
+fn fixture(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn read(bytes: &[u8]) -> TraceContent {
+    TraceReader::new(bytes).unwrap().read_to_end().unwrap()
+}
+
+/// The v1 fixture was recorded by the pre-spec binary
+/// (`hllc record --policy cp_sd --mix 1 --cycles 4e4 --seed 7 --cores 2`);
+/// its stats JSON sits next to it. The v2 reader must reconstruct the
+/// recording system from the v1 header alone and reproduce every counter.
+#[test]
+fn v1_fixture_replays_bit_identically() {
+    let bytes = std::fs::read(fixture("v1_mix1.trc")).expect("v1 fixture");
+    let content = read(&bytes);
+    assert_eq!(content.header.spec_json, None, "fixture must be v1");
+
+    let spec = trace_spec(&content).expect("v1 header implies a valid system");
+    assert_eq!(spec.system.llc_sets, 512);
+    assert_eq!(spec.workload.seed, 7);
+
+    let stats = replay_session_with(&content, &spec, Policy::cp_sd(), None).unwrap();
+    let rendered =
+        serde_json::to_string_pretty(&stats_json("CP_SD", &content.header.workload, &stats))
+            .unwrap()
+            + "\n";
+    let golden = std::fs::read_to_string(fixture("v1_mix1.stats.json")).unwrap();
+    assert_eq!(
+        rendered, golden,
+        "v1 replay diverged from the recorded stats"
+    );
+}
+
+#[test]
+fn v2_recordings_embed_the_resolved_spec() {
+    let a = Args::scaled(Policy::cp_sd(), 0, 30_000.0, 3);
+    let writer = TraceWriter::new(Vec::new(), &recording_header(&a, 2)).unwrap();
+    let (_, bytes) = record_session(&a, 2, writer).unwrap();
+    let content = read(&bytes);
+    assert!(
+        content.header.spec_json.is_some(),
+        "v2 header carries the spec"
+    );
+    let embedded = trace_spec(&content).unwrap();
+    assert_eq!(embedded, a.spec);
+}
+
+#[test]
+fn mismatched_spec_fails_naming_the_geometry() {
+    let a = Args::scaled(Policy::cp_sd(), 0, 30_000.0, 3);
+    let writer = TraceWriter::new(Vec::new(), &recording_header(&a, 2)).unwrap();
+    let (_, bytes) = record_session(&a, 2, writer).unwrap();
+    let content = read(&bytes);
+
+    let mut other = a.spec.clone();
+    other.system.llc_sets = 1024;
+    other.validate().unwrap();
+    let e = replay_session_with(&content, &other, Policy::cp_sd(), None).unwrap_err();
+    assert!(e.contains("geometry mismatch"), "{e}");
+    assert!(e.contains("llc_sets: spec 1024 vs recording 512"), "{e}");
+
+    // The recording's own spec replays fine.
+    replay_session_with(&content, &a.spec, Policy::cp_sd(), None).unwrap();
+}
+
+#[test]
+fn v1_replay_rejects_an_explicit_mismatched_spec_too() {
+    let bytes = std::fs::read(fixture("v1_mix1.trc")).expect("v1 fixture");
+    let content = read(&bytes);
+    let mut spec = trace_spec(&content).unwrap();
+    spec.system.sram_ways = 3;
+    spec.system.nvm_ways = 13;
+    spec.validate().unwrap();
+    let e = replay_session_with(&content, &spec, Policy::cp_sd(), None).unwrap_err();
+    assert!(e.contains("geometry mismatch"), "{e}");
+    assert!(e.contains("sram_ways"), "{e}");
+}

@@ -15,15 +15,7 @@ use hybrid_llc::session::{
 use hybrid_llc::traceio::{TraceContent, TraceError, TraceReader, TraceWriter};
 
 fn args(policy: Policy, mix: usize) -> Args {
-    Args {
-        policy,
-        mix,
-        cycles: 50_000.0,
-        seed: 11,
-        jobs: 1,
-        trace: None,
-        json: false,
-    }
+    Args::scaled(policy, mix, 50_000.0, 11)
 }
 
 fn record(policy: Policy, mix: usize, cores: usize) -> (Args, Vec<u8>) {
@@ -71,7 +63,7 @@ fn two_core_recordings_round_trip_too() {
     let content = read(&bytes);
     assert_eq!(content.header.cores, 2);
     let live = live_session(&a, 2);
-    let replayed = replay_session(&content, a.policy, None).unwrap();
+    let replayed = replay_session(&content, a.policy(), None).unwrap();
     assert_eq!(live, replayed);
 }
 
