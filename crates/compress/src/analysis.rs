@@ -123,6 +123,7 @@ impl CompressionStats {
     /// Records an already-compressed block.
     pub fn observe_compressed(&mut self, cb: &CompressedBlock) {
         let e = cb.encoding();
+        // ce() < 16 == per_encoding.len() (4-bit encoding id).
         self.per_encoding[e.ce() as usize] += 1;
         self.classes.record(classify(cb.size()));
         self.total_uncompressed_bytes += 64;
@@ -131,6 +132,7 @@ impl CompressionStats {
 
     /// Number of blocks observed with `encoding`.
     pub fn count(&self, encoding: Encoding) -> u64 {
+        // ce() < 16 == per_encoding.len().
         self.per_encoding[encoding.ce() as usize]
     }
 

@@ -12,7 +12,7 @@
 //! Nothing in this module allocates: [`Compressor::probe`] works from the
 //! raw bytes alone, and [`CompressedBlock`] stores its payload inline.
 
-use crate::block::{Block, BLOCK_SIZE};
+use crate::block::{le_bytes, Block, BLOCK_SIZE};
 use crate::encoding::Encoding;
 
 /// A compressed cache block: the chosen encoding plus its payload bytes.
@@ -57,6 +57,7 @@ impl CompressedBlock {
 
     /// The raw payload bytes (base followed by deltas).
     pub fn payload(&self) -> &[u8] {
+        // compressed_size() <= 64 == payload.len().
         &self.payload[..self.encoding.compressed_size() as usize]
     }
 
@@ -65,7 +66,7 @@ impl CompressedBlock {
         match self.encoding {
             Encoding::Zeros => Block::zeroed(),
             Encoding::Repeated => {
-                let v = u64::from_le_bytes(self.payload[..8].try_into().unwrap());
+                let v = u64::from_le_bytes(le_bytes(&self.payload, 0));
                 Block::from_u64_lanes([v; 8])
             }
             Encoding::Uncompressed => Block::new(self.payload),
@@ -80,6 +81,7 @@ impl CompressedBlock {
     pub fn from_parts(encoding: Encoding, payload: &[u8]) -> Option<Self> {
         if payload.len() == encoding.compressed_size() as usize {
             let mut inline = [0u8; BLOCK_SIZE];
+            // payload.len() == compressed_size() <= 64 (checked above).
             inline[..payload.len()].copy_from_slice(payload);
             Some(CompressedBlock {
                 encoding,
@@ -169,7 +171,7 @@ impl Compressor {
     pub fn probe(&self, bytes: &[u8; BLOCK_SIZE]) -> Encoding {
         let mut lanes = [0u64; 8];
         for (i, lane) in lanes.iter_mut().enumerate() {
-            *lane = u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
+            *lane = u64::from_le_bytes(le_bytes(bytes, i * 8));
         }
 
         let first = lanes[0];
@@ -219,10 +221,12 @@ impl Compressor {
         }
         let d8 = min_delta_width(min8, max8);
         if d8 <= 7 {
+            // d8 in 1..=7, so the index is in 0..=6.
             best = smaller(best, B8_BY_WIDTH[usize::from(d8) - 1]);
         }
         let d4 = min_delta_width(min4, max4);
         if d4 <= 3 {
+            // d4 in 1..=3, so the index is in 0..=2.
             best = smaller(best, B4_BY_WIDTH[usize::from(d4) - 1]);
         }
         if min_delta_width(min2, max2) == 1 {
@@ -266,14 +270,19 @@ fn min_delta_width(min: i64, max: i64) -> u8 {
 /// intermediate lane buffer: each lane is read from the block bytes, its
 /// delta computed, and the truncated little-endian bytes stored directly.
 fn encode_base_delta(encoding: Encoding, block: &Block, out: &mut [u8; BLOCK_SIZE]) {
-    let base_w = encoding.base_width().unwrap() as usize;
-    let delta_w = encoding.delta_width().unwrap() as usize;
+    let (Some(base_w), Some(delta_w)) = (encoding.base_width(), encoding.delta_width()) else {
+        debug_assert!(false, "encode_base_delta only sees base/delta encodings");
+        return;
+    };
+    let (base_w, delta_w) = (base_w as usize, delta_w as usize);
     let bytes = block.bytes();
+    // base_w <= 8 <= BLOCK_SIZE, the length of both buffers.
     out[..base_w].copy_from_slice(&bytes[..base_w]);
     let base = read_lane(bytes, 0, base_w);
     let mut off = base_w;
     for lane in 1..BLOCK_SIZE / base_w {
         let d = read_lane(bytes, lane, base_w).wrapping_sub(base);
+        // The payload fits the block: off + delta_w <= CB size <= BLOCK_SIZE.
         out[off..off + delta_w].copy_from_slice(&d.to_le_bytes()[..delta_w]);
         off += delta_w;
     }
@@ -283,31 +292,43 @@ fn encode_base_delta(encoding: Encoding, block: &Block, out: &mut [u8; BLOCK_SIZ
 fn read_lane(bytes: &[u8; BLOCK_SIZE], lane: usize, width: usize) -> i64 {
     let off = lane * width;
     match width {
-        8 => i64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()),
-        4 => i64::from(i32::from_le_bytes(bytes[off..off + 4].try_into().unwrap())),
-        2 => i64::from(i16::from_le_bytes(bytes[off..off + 2].try_into().unwrap())),
-        _ => unreachable!(),
+        8 => i64::from_le_bytes(le_bytes(bytes, off)),
+        4 => i64::from(i32::from_le_bytes(le_bytes(bytes, off))),
+        2 => i64::from(i16::from_le_bytes(le_bytes(bytes, off))),
+        _ => {
+            debug_assert!(false, "lane widths are 2, 4, or 8");
+            0
+        }
     }
 }
 
 fn decompress_base_delta(encoding: Encoding, payload: &[u8]) -> Block {
-    let base_w = encoding.base_width().unwrap() as usize;
-    let delta_w = encoding.delta_width().unwrap() as usize;
+    let (Some(base_w), Some(delta_w)) = (encoding.base_width(), encoding.delta_width()) else {
+        debug_assert!(
+            false,
+            "decompress_base_delta only sees base/delta encodings"
+        );
+        return Block::zeroed();
+    };
+    let (base_w, delta_w) = (base_w as usize, delta_w as usize);
     let n_lanes = BLOCK_SIZE / base_w;
 
     let mut base_bytes = [0u8; 8];
     base_bytes[..base_w].copy_from_slice(&payload[..base_w]);
     // Sign-extend the base to i64 according to its width.
     let base = match base_w {
-        8 => u64::from_le_bytes(base_bytes) as i64,
-        4 => i64::from(u32::from_le_bytes(base_bytes[..4].try_into().unwrap()) as i32),
-        2 => i64::from(u16::from_le_bytes(base_bytes[..2].try_into().unwrap()) as i16),
-        _ => unreachable!(),
+        4 => i64::from(u32::from_le_bytes(le_bytes(&base_bytes, 0)) as i32),
+        2 => i64::from(u16::from_le_bytes(le_bytes(&base_bytes, 0)) as i16),
+        w => {
+            debug_assert_eq!(w, 8, "base widths are 2, 4, or 8");
+            u64::from_le_bytes(base_bytes) as i64
+        }
     };
 
     let mut lanes = [0i64; BLOCK_SIZE / 2];
     lanes[0] = base;
     let mut off = base_w;
+    // n_lanes = BLOCK_SIZE / base_w <= BLOCK_SIZE / 2 == lanes.len().
     for lane in lanes[1..n_lanes].iter_mut() {
         let mut d_bytes = [0u8; 8];
         d_bytes[..delta_w].copy_from_slice(&payload[off..off + delta_w]);
@@ -319,10 +340,13 @@ fn decompress_base_delta(encoding: Encoding, payload: &[u8]) -> Block {
     }
 
     match base_w {
+        // from_fn's i < lane count (8/16/32) <= lanes.len() == 32.
         8 => Block::from_u64_lanes(core::array::from_fn(|i| lanes[i] as u64)),
         4 => Block::from_u32_lanes(core::array::from_fn(|i| lanes[i] as u32)),
-        2 => Block::from_u16_lanes(core::array::from_fn(|i| lanes[i] as u16)),
-        _ => unreachable!(),
+        w => {
+            debug_assert_eq!(w, 2, "base widths are 2, 4, or 8");
+            Block::from_u16_lanes(core::array::from_fn(|i| lanes[i] as u16))
+        }
     }
 }
 

@@ -23,6 +23,19 @@ pub const BLOCK_SIZE: usize = 64;
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Block([u8; BLOCK_SIZE]);
 
+/// Copies `N` bytes out of `src` starting at `at` — a panic-free stand-in
+/// for `src[at..at + N].try_into().unwrap()`. The zip reads short (and the
+/// debug assertion fires) if the caller's offset were ever out of range.
+#[inline]
+pub(crate) fn le_bytes<const N: usize>(src: &[u8], at: usize) -> [u8; N] {
+    debug_assert!(at + N <= src.len());
+    let mut out = [0u8; N];
+    for (o, b) in out.iter_mut().zip(src.iter().skip(at)) {
+        *o = *b;
+    }
+    out
+}
+
 impl Block {
     /// Creates a block of all zero bytes.
     pub fn zeroed() -> Self {
@@ -38,6 +51,7 @@ impl Block {
     pub fn from_u64_lanes(lanes: [u64; 8]) -> Self {
         let mut bytes = [0u8; BLOCK_SIZE];
         for (i, lane) in lanes.iter().enumerate() {
+            // (i + 1) * 8 <= 8 * 8 == BLOCK_SIZE.
             bytes[i * 8..(i + 1) * 8].copy_from_slice(&lane.to_le_bytes());
         }
         Block(bytes)
@@ -47,6 +61,7 @@ impl Block {
     pub fn from_u32_lanes(lanes: [u32; 16]) -> Self {
         let mut bytes = [0u8; BLOCK_SIZE];
         for (i, lane) in lanes.iter().enumerate() {
+            // (i + 1) * 4 <= 16 * 4 == BLOCK_SIZE.
             bytes[i * 4..(i + 1) * 4].copy_from_slice(&lane.to_le_bytes());
         }
         Block(bytes)
@@ -56,6 +71,7 @@ impl Block {
     pub fn from_u16_lanes(lanes: [u16; 32]) -> Self {
         let mut bytes = [0u8; BLOCK_SIZE];
         for (i, lane) in lanes.iter().enumerate() {
+            // (i + 1) * 2 <= 32 * 2 == BLOCK_SIZE.
             bytes[i * 2..(i + 1) * 2].copy_from_slice(&lane.to_le_bytes());
         }
         Block(bytes)
@@ -75,7 +91,7 @@ impl Block {
     pub fn u64_lanes(&self) -> [u64; 8] {
         let mut lanes = [0u64; 8];
         for (i, lane) in lanes.iter_mut().enumerate() {
-            *lane = u64::from_le_bytes(self.0[i * 8..(i + 1) * 8].try_into().unwrap());
+            *lane = u64::from_le_bytes(le_bytes(&self.0, i * 8));
         }
         lanes
     }
@@ -84,7 +100,7 @@ impl Block {
     pub fn u32_lanes(&self) -> [u32; 16] {
         let mut lanes = [0u32; 16];
         for (i, lane) in lanes.iter_mut().enumerate() {
-            *lane = u32::from_le_bytes(self.0[i * 4..(i + 1) * 4].try_into().unwrap());
+            *lane = u32::from_le_bytes(le_bytes(&self.0, i * 4));
         }
         lanes
     }
@@ -93,7 +109,7 @@ impl Block {
     pub fn u16_lanes(&self) -> [u16; 32] {
         let mut lanes = [0u16; 32];
         for (i, lane) in lanes.iter_mut().enumerate() {
-            *lane = u16::from_le_bytes(self.0[i * 2..(i + 1) * 2].try_into().unwrap());
+            *lane = u16::from_le_bytes(le_bytes(&self.0, i * 2));
         }
         lanes
     }

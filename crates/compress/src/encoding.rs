@@ -128,9 +128,12 @@ impl Encoding {
             Encoding::Repeated => 8,
             Encoding::Uncompressed => 64,
             _ => {
-                let base = self.base_width().unwrap();
-                let delta = self.delta_width().unwrap();
-                let lanes = self.lanes().unwrap();
+                let (Some(base), Some(delta), Some(lanes)) =
+                    (self.base_width(), self.delta_width(), self.lanes())
+                else {
+                    debug_assert!(false, "base/delta encoding without widths");
+                    return 64;
+                };
                 base + (lanes - 1) * delta
             }
         }

@@ -111,6 +111,7 @@ impl Fpc {
     /// Per-word pattern breakdown (diagnostics and tests).
     pub fn patterns(&self, block: &Block) -> [FpcPattern; 16] {
         let lanes = block.u32_lanes();
+        // from_fn's i < 16 == lanes.len().
         core::array::from_fn(|i| FpcPattern::classify(lanes[i]))
     }
 }

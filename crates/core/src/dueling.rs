@@ -38,6 +38,7 @@ impl EpochRecord {
         }
         let mut best = 0;
         for k in 1..self.hits.len() {
+            // k and best stay below hits.len().
             if self.hits[k] > self.hits[best] {
                 best = k;
             }
@@ -139,6 +140,7 @@ impl SetDueling {
     pub fn cp_th_for_set(&self, set: usize) -> u8 {
         match self.candidate_of_set(set) {
             Some(k) => CP_TH_CANDIDATES[k],
+            // winner is always a candidate index (see select_winner).
             None => CP_TH_CANDIDATES[self.winner],
         }
     }
@@ -181,6 +183,7 @@ impl SetDueling {
         if self.history.len() < HISTORY_EPOCHS {
             self.history.push(record);
         } else {
+            // history_head wraps modulo HISTORY_EPOCHS == history.len().
             self.history[self.history_head] = record;
             self.history_head = (self.history_head + 1) % HISTORY_EPOCHS;
         }
@@ -204,6 +207,7 @@ impl SetDueling {
         }
         let mut i = 0;
         for k in 1..CP_TH_CANDIDATES.len() {
+            // k, i < CP_TH_CANDIDATES.len() == hits_acc.len().
             if self.hits_acc[k] > self.hits_acc[i] {
                 i = k;
             }
@@ -214,6 +218,7 @@ impl SetDueling {
         let h_floor = self.hits_acc[i] * (1.0 - self.th / 100.0);
         let w_ceiling = self.writes_acc[i] * (1.0 - self.tw / 100.0);
         for j in 0..CP_TH_CANDIDATES.len() {
+            // j < CP_TH_CANDIDATES.len() == hits_acc.len() == writes_acc.len().
             if self.hits_acc[j] > h_floor && self.writes_acc[j] < w_ceiling {
                 return j;
             }
@@ -226,7 +231,9 @@ impl SetDueling {
     /// [`epochs_total`](Self::epochs_total) for the lifetime count).
     pub fn history(&self) -> Vec<EpochRecord> {
         let mut out = Vec::with_capacity(self.history.len());
+        // history_head <= history.len() (it indexes or appends).
         out.extend_from_slice(&self.history[self.history_head..]);
+        // Same bound as the slice above.
         out.extend_from_slice(&self.history[..self.history_head]);
         out
     }

@@ -99,17 +99,21 @@ impl HybridLlc {
         } else {
             assert_eq!(cfg.nvm_ways, 0, "NVM ways require an array");
         }
-        let dueling = matches!(cfg.policy, Policy::CpSd { .. }).then(|| {
-            let Policy::CpSd { th, tw } = cfg.policy else {
-                unreachable!()
-            };
+        let dueling = if let Policy::CpSd { th, tw } = cfg.policy {
             let mut d = SetDueling::new(th, tw, cfg.epoch_cycles);
             d.set_smoothing(cfg.dueling_smoothing);
-            d
-        });
+            Some(d)
+        } else {
+            None
+        };
         let tap_table = match cfg.policy {
             Policy::Tap { .. } => vec![0u8; TAP_TABLE_ENTRIES],
-            _ => Vec::new(),
+            Policy::Bh
+            | Policy::BhCp
+            | Policy::Ca { .. }
+            | Policy::CaRwr { .. }
+            | Policy::CpSd { .. }
+            | Policy::LHybrid => Vec::new(),
         };
         HybridLlc {
             sets: cfg.sets,
@@ -242,12 +246,10 @@ impl HybridLlc {
     fn cp_th_for(&self, set: usize) -> u8 {
         match self.policy {
             Policy::Ca { cp_th } | Policy::CaRwr { cp_th } => cp_th,
-            Policy::CpSd { .. } => self
-                .dueling
-                .as_ref()
-                .expect("CP_SD has a dueling controller")
-                .cp_th_for_set(set),
-            _ => 64,
+            // `dueling` is always Some under CP_SD (see `with_array`); the
+            // fallback is the uncompressed threshold.
+            Policy::CpSd { .. } => self.dueling.as_ref().map_or(64, |d| d.cp_th_for_set(set)),
+            Policy::Bh | Policy::BhCp | Policy::LHybrid | Policy::Tap { .. } => 64,
         }
     }
 
@@ -261,6 +263,7 @@ impl HybridLlc {
     fn tap_observe(&mut self, block: u64, dirty: bool, req: LlcReq) -> u32 {
         let slot = Self::tap_slot(block);
         if req == LlcReq::GetS && !dirty {
+            // slot < TAP_TABLE_ENTRIES == tap_table.len() under TAP.
             self.tap_table[slot] = self.tap_table[slot].saturating_add(1);
         }
         u32::from(self.tap_table[slot])
@@ -330,7 +333,11 @@ impl HybridLlc {
                 }
             }
             Policy::Bh | Policy::BhCp => {
-                unreachable!("BH variants use global replacement, not part steering")
+                debug_assert!(
+                    false,
+                    "BH variants use global replacement, not part steering"
+                );
+                Part::Sram
             }
         }
     }
@@ -365,12 +372,14 @@ impl HybridLlc {
                     }
                     continue;
                 }
+                // way enumerates caps; the stamp lane has the same length.
                 let stamp = stamps[way];
                 if stamp < lru_stamp {
                     lru_stamp = stamp;
                     lru_way = Some(way);
                 }
             }
+            // w was yielded by the enumerate over caps above.
             return lru_way.filter(|&w| ecb <= caps[w].get() as usize);
         }
         let mut lru_way = None;
@@ -433,11 +442,11 @@ impl HybridLlc {
         } else {
             hllc_nvm::FRAME_BYTES // uncompressed policies rewrite the frame
         };
-        let bytes = self
-            .array
-            .as_mut()
-            .expect("NVM insert requires an array")
-            .note_write(set, way, ecb);
+        let Some(array) = self.array.as_mut() else {
+            debug_assert!(false, "NVM insert requires an array");
+            return;
+        };
+        let bytes = array.note_write(set, way, ecb);
         self.stats.nvm_inserts += 1;
         self.stats.nvm_bytes_written += bytes;
         if migration {
@@ -450,6 +459,7 @@ impl HybridLlc {
             self.clock = self.clock.max(now);
             let clock = self.clock;
             let bank = self.bank_of(set);
+            // bank_of() reduces modulo bank_busy_until.len().
             let busy = &mut self.bank_busy_until[bank];
             *busy = (*busy).max(clock) + u64::from(self.nvm_write_cycles);
         }
@@ -504,15 +514,23 @@ impl HybridLlc {
                 // Only migrate when SRAM is actually full.
                 let has_empty = (0..self.sram_ways).any(|w| !self.sram.is_valid(set, w));
                 if !has_empty {
-                    let lb = self.take(Part::Sram, set, lb_way).unwrap();
-                    self.place_nvm(now, set, lb, true);
+                    // most_recent_lb_way only returns valid ways.
+                    if let Some(lb) = self.take(Part::Sram, set, lb_way) {
+                        self.place_nvm(now, set, lb, true);
+                    } else {
+                        debug_assert!(false, "loop-block way must hold a line");
+                    }
                     self.commit_sram(set, lb_way, line);
                     return;
                 }
             }
         }
 
-        let way = self.pick_sram_way(set).expect("SRAM part has ways");
+        // sram_ways > 0 here (guarded above), so a way always exists.
+        let Some(way) = self.pick_sram_way(set) else {
+            debug_assert!(false, "SRAM part has ways");
+            return;
+        };
         if let Some(victim) = self.take(Part::Sram, set, way) {
             let migrate = matches!(self.policy, Policy::CaRwr { .. } | Policy::CpSd { .. })
                 && victim.reuse == ReuseClass::Read;
@@ -632,7 +650,12 @@ impl LlcPort for HybridLlc {
         let dirty = self.part(part).dirty(set, way);
         let tap_count = match self.policy {
             Policy::Tap { .. } => self.tap_observe(block, dirty, req),
-            _ => 0,
+            Policy::Bh
+            | Policy::BhCp
+            | Policy::Ca { .. }
+            | Policy::CaRwr { .. }
+            | Policy::CpSd { .. }
+            | Policy::LHybrid => 0,
         };
         let reuse = self.classify_hit(dirty, req, tap_count);
         let compressed = part == Part::Nvm
@@ -704,7 +727,11 @@ impl LlcPort for HybridLlc {
 
         match self.policy {
             Policy::Bh | Policy::BhCp => self.place_global(now, set, line),
-            _ => match self.decide_part(set, &line) {
+            Policy::Ca { .. }
+            | Policy::CaRwr { .. }
+            | Policy::CpSd { .. }
+            | Policy::LHybrid
+            | Policy::Tap { .. } => match self.decide_part(set, &line) {
                 Part::Nvm => self.place_nvm(now, set, line, false),
                 Part::Sram => self.place_sram(now, set, line),
             },

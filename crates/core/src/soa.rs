@@ -62,7 +62,7 @@ impl WayArray {
     /// # Panics
     ///
     /// Panics if `ways > 64` (the occupancy word is a `u64`).
-    pub fn new(sets: usize, ways: usize) -> Self {
+    pub(crate) fn new(sets: usize, ways: usize) -> Self {
         assert!(ways <= 64, "WayArray supports at most 64 ways, got {ways}");
         WayArray {
             ways,
@@ -83,19 +83,21 @@ impl WayArray {
 
     /// True if `way` of `set` holds a line.
     #[inline]
-    pub fn is_valid(&self, set: usize, way: usize) -> bool {
+    pub(crate) fn is_valid(&self, set: usize, way: usize) -> bool {
+        // set < sets == valid.len(); callers pass in-range sets.
         self.valid[set] & (1u64 << way) != 0
     }
 
     /// The way holding `block` in `set`, if resident: one occupancy-word
     /// load plus a linear sweep over the set's contiguous tag lane.
     #[inline]
-    pub fn find(&self, set: usize, block: u64) -> Option<usize> {
+    pub(crate) fn find(&self, set: usize, block: u64) -> Option<usize> {
         let mask = self.valid[set];
         if mask == 0 {
             return None;
         }
         let base = set * self.ways;
+        // base + ways <= sets * ways == tags.len().
         let tags = &self.tags[base..base + self.ways];
         for (way, &tag) in tags.iter().enumerate() {
             if tag == block && mask & (1u64 << way) != 0 {
@@ -107,66 +109,68 @@ impl WayArray {
 
     /// The LRU stamp of `way` (only meaningful when valid).
     #[inline]
-    pub fn lru(&self, set: usize, way: usize) -> u64 {
+    pub(crate) fn lru(&self, set: usize, way: usize) -> u64 {
+        // idx() < sets * ways == lru.len().
         self.lru[self.idx(set, way)]
     }
 
     /// The occupancy word of `set` (bit `w` set ⇔ way `w` holds a line).
     #[inline]
-    pub fn valid_mask(&self, set: usize) -> u64 {
+    pub(crate) fn valid_mask(&self, set: usize) -> u64 {
         self.valid[set]
     }
 
     /// The contiguous LRU-stamp lane of `set` — lets victim sweeps iterate
     /// a slice instead of paying an index computation per way.
     #[inline]
-    pub fn lru_lane(&self, set: usize) -> &[u64] {
+    pub(crate) fn lru_lane(&self, set: usize) -> &[u64] {
         let base = set * self.ways;
         &self.lru[base..base + self.ways]
     }
 
     /// Incrementally refreshes the LRU stamp of a resident line.
     #[inline]
-    pub fn touch(&mut self, set: usize, way: usize, stamp: u64) {
+    pub(crate) fn touch(&mut self, set: usize, way: usize, stamp: u64) {
         let i = self.idx(set, way);
+        // i = idx() < sets * ways == lru.len().
         self.lru[i] = stamp;
     }
 
     /// Sets the reuse class of a resident line.
     #[inline]
-    pub fn set_reuse(&mut self, set: usize, way: usize, reuse: ReuseClass) {
+    pub(crate) fn set_reuse(&mut self, set: usize, way: usize, reuse: ReuseClass) {
         let i = self.idx(set, way);
         self.meta[i] = (self.meta[i] & DIRTY_BIT) | (encode_reuse(reuse) << REUSE_SHIFT);
     }
 
     /// Increments the hit counter of a resident line.
     #[inline]
-    pub fn bump_hits(&mut self, set: usize, way: usize) {
+    pub(crate) fn bump_hits(&mut self, set: usize, way: usize) {
         let i = self.idx(set, way);
         self.hits[i] += 1;
     }
 
     /// True if the resident line at `way` is dirty.
     #[inline]
-    pub fn dirty(&self, set: usize, way: usize) -> bool {
+    pub(crate) fn dirty(&self, set: usize, way: usize) -> bool {
         self.meta[self.idx(set, way)] & DIRTY_BIT != 0
     }
 
     /// The reuse class of the resident line at `way`.
     #[inline]
-    pub fn reuse(&self, set: usize, way: usize) -> ReuseClass {
+    pub(crate) fn reuse(&self, set: usize, way: usize) -> ReuseClass {
         decode_reuse(self.meta[self.idx(set, way)] >> REUSE_SHIFT)
     }
 
     /// The compressed size of the resident line at `way`.
     #[inline]
-    pub fn cb_size(&self, set: usize, way: usize) -> u8 {
+    pub(crate) fn cb_size(&self, set: usize, way: usize) -> u8 {
         self.cb_size[self.idx(set, way)]
     }
 
     /// Gathers the lanes of `way` back into a [`LineState`], or `None` if
     /// the way is empty.
-    pub fn get(&self, set: usize, way: usize) -> Option<LineState> {
+    pub(crate) fn get(&self, set: usize, way: usize) -> Option<LineState> {
         if !self.is_valid(set, way) {
             return None;
         }
@@ -182,7 +186,7 @@ impl WayArray {
     }
 
     /// Scatters `line` into the lanes of `way`, marking it occupied.
-    pub fn put(&mut self, set: usize, way: usize, line: LineState) {
+    pub(crate) fn put(&mut self, set: usize, way: usize, line: LineState) {
         let i = self.idx(set, way);
         self.tags[i] = line.block;
         self.lru[i] = line.lru;
@@ -193,7 +197,7 @@ impl WayArray {
     }
 
     /// Removes and returns the line at `way`, if any.
-    pub fn take(&mut self, set: usize, way: usize) -> Option<LineState> {
+    pub(crate) fn take(&mut self, set: usize, way: usize) -> Option<LineState> {
         let line = self.get(set, way)?;
         self.valid[set] &= !(1u64 << way);
         Some(line)
@@ -201,7 +205,7 @@ impl WayArray {
 
     /// Invalidates every line (the lanes keep their bytes; only the
     /// occupancy words are cleared).
-    pub fn clear(&mut self) {
+    pub(crate) fn clear(&mut self) {
         self.valid.iter_mut().for_each(|m| *m = 0);
     }
 }

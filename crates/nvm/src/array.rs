@@ -125,6 +125,7 @@ impl NvmArray {
     /// Immutable access to a frame.
     #[inline]
     pub fn frame(&self, set: usize, way: usize) -> &Frame {
+        // idx() < sets * ways == frames.len().
         &self.frames[self.idx(set, way)]
     }
 
@@ -132,6 +133,7 @@ impl NvmArray {
     /// frame's cached capacity, since the caller may mutate its fault map.
     pub fn frame_mut(&mut self, set: usize, way: usize) -> &mut Frame {
         let i = self.idx(set, way);
+        // i = idx() < sets * ways, the length of every lane.
         self.capacity[i].set(CAP_DIRTY);
         &mut self.frames[i]
     }
@@ -176,6 +178,7 @@ impl NvmArray {
     pub fn capacity_lane(&self, set: usize) -> &[Cell<u8>] {
         assert!(set < self.sets, "set {set} out of range");
         let base = set * self.ways;
+        // base + ways <= sets * ways == capacity.len() (set checked above).
         let lane = &self.capacity[base..base + self.ways];
         for (way, cap) in lane.iter().enumerate() {
             if cap.get() == CAP_DIRTY {
@@ -293,6 +296,7 @@ impl NvmArray {
                     }
                     let live_in_frame: Vec<usize> =
                         self.frames[i].fault_map().live_indices().collect();
+                    // gen_range is bounded by live_in_frame.len().
                     let b = live_in_frame[rng.gen_range(0..live_in_frame.len())];
                     self.frames[i].disable_byte(b);
                     self.capacity[i].set(CAP_DIRTY);

@@ -65,6 +65,7 @@ impl FaultMap {
     #[inline]
     pub fn is_faulty(&self, i: usize) -> bool {
         assert!(i < FRAME_BYTES, "byte index {i} out of range");
+        // i >> 6 < FAULT_WORDS since i < FRAME_BYTES.
         self.words[i >> 6] >> (i & 63) & 1 == 1
     }
 
@@ -114,6 +115,7 @@ impl FaultMap {
     pub fn live_words(&self) -> [u64; FAULT_WORDS] {
         let mut live = [0u64; FAULT_WORDS];
         for (w, l) in live.iter_mut().enumerate() {
+            // w enumerates live, which has the same length as words.
             *l = !self.words[w] & WORD_MASKS[w];
         }
         live
@@ -174,6 +176,7 @@ impl Iterator for LiveIndices {
 
     fn next(&mut self) -> Option<usize> {
         while self.segment < 2 {
+            // segment < 2 == segments.len() inside the loop.
             let words = &mut self.segments[self.segment];
             for (w, word) in words.iter_mut().enumerate() {
                 if *word != 0 {

@@ -97,6 +97,7 @@ impl Frame {
         if self.fault_map.is_faulty(i) {
             0.0
         } else {
+            // i < FRAME_BYTES (asserted above), the length of both lanes.
             (self.endurance[i] - self.wear[i]).max(0.0)
         }
     }
@@ -111,6 +112,7 @@ impl Frame {
         let mask_words = [mask as u64, (mask >> 64) as u64];
         let mut events = Vec::new();
         for (w, &word) in mask_words.iter().enumerate() {
+            // w < 2 == live.len() (both arrays cover FRAME_BYTES bits).
             let mut bits = word & live[w];
             while bits != 0 {
                 let i = w * 64 + bits.trailing_zeros() as usize;

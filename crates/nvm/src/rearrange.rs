@@ -43,6 +43,7 @@ pub fn index_vector(
         .take(ecb_len)
         .enumerate()
     {
+        // live_indices_from yields positions < FRAME_BYTES.
         iv[pos] = Some(ecb_byte as u8);
     }
     iv
@@ -61,6 +62,7 @@ pub fn scatter(ecb: &[u8], fault_map: &FaultMap, offset: usize) -> ([u8; FRAME_B
     let mut mask = [0u64; FAULT_WORDS];
     for (&byte, pos) in ecb.iter().zip(fault_map.live_indices_from(offset)) {
         recb[pos] = byte;
+        // pos < FRAME_BYTES (live index), so pos >> 6 < FAULT_WORDS.
         mask[pos >> 6] |= 1 << (pos & 63);
     }
     (recb, u128::from(mask[0]) | u128::from(mask[1]) << 64)

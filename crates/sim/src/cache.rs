@@ -97,13 +97,14 @@ impl<T> Cache<T> {
         self.stamp += 1;
         let stamp = self.stamp;
         let range = self.set_range(block);
-        let slot = self.entries[range.clone()]
-            .iter()
-            .position(|e| e.as_ref().is_some_and(|e| e.block == block));
-        match slot {
-            Some(i) => {
+        // range is in bounds: set_index(_, sets) < sets, len == sets * ways.
+        let hit = self.entries[range]
+            .iter_mut()
+            .flatten()
+            .find(|e| e.block == block);
+        match hit {
+            Some(e) => {
                 self.hits += 1;
-                let e = self.entries[range.start + i].as_mut().unwrap();
                 e.lru = stamp;
                 Some(e)
             }
@@ -118,6 +119,7 @@ impl<T> Cache<T> {
     /// hit/miss statistics — for coherence actions (downgrades) performed
     /// *on* a cache rather than *by* it.
     pub fn entry_mut(&mut self, block: u64) -> Option<&mut Entry<T>> {
+        // set_range is in bounds (see `lookup`).
         let range = self.set_range(block);
         self.entries[range]
             .iter_mut()
@@ -153,6 +155,7 @@ impl<T> Cache<T> {
         let mut victim_idx = range.start;
         let mut victim_lru = u64::MAX;
         for i in range.clone() {
+            // i ranges over the set's ways (range ⊆ entries).
             match &self.entries[i] {
                 None => {
                     victim_idx = i;
@@ -166,6 +169,7 @@ impl<T> Cache<T> {
             }
         }
 
+        // victim_idx was chosen inside `range`, so it is in bounds.
         let evicted = self.entries[victim_idx].take().map(|e| Evicted {
             block: e.block,
             dirty: e.dirty,
@@ -184,8 +188,8 @@ impl<T> Cache<T> {
     pub fn invalidate(&mut self, block: u64) -> Option<Evicted<T>> {
         let range = self.set_range(block);
         for i in range {
-            if self.entries[i].as_ref().is_some_and(|e| e.block == block) {
-                let e = self.entries[i].take().unwrap();
+            // i ranges over the set's ways (range ⊆ entries).
+            if let Some(e) = self.entries[i].take_if(|e| e.block == block) {
                 return Some(Evicted {
                     block: e.block,
                     dirty: e.dirty,

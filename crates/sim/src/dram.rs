@@ -101,6 +101,7 @@ impl Dram {
     /// core cycles (including any wait for the bank).
     pub fn access(&mut self, block: u64, now: u64) -> u32 {
         let (bank_idx, row) = self.locate(block);
+        // locate() reduces the bank index modulo cfg.banks == banks.len().
         let bank = &mut self.banks[bank_idx];
 
         let queue_wait = bank.busy_until.saturating_sub(now) as u32;

@@ -25,33 +25,45 @@
 //! invalidate every remote copy. The paper's multi-programmed workloads
 //! never share, so the directory is quiescent there, but the protocol is
 //! fully functional (see `assert_coherent` and the sharing tests).
+//!
+//! The protocol itself is specified as data: every coherence decision is
+//! a lookup in [`coherence::TRANSITION_TABLE`] through the pure
+//! [`coherence::step`] function, and this module only *executes* the
+//! decided [`Transition`]s (cache fills, LLC probes, statistics) in a
+//! fixed canonical order. `hllc-xtask -- check-protocol` exhaustively
+//! enumerates the table's reachable state space offline.
 
 use crate::access::{Access, Op};
 use crate::address::block_of;
 use crate::cache::Cache;
+use crate::coherence::{
+    self, CacheState, LlcOp, OthersClass, RemoteAction, ReqKind, ServeClass, Transition,
+};
 use crate::config::SystemConfig;
 use crate::data::DataModel;
 use crate::dram::Dram;
 use crate::llc::{LlcPort, LlcReq, ReuseClass};
 use crate::stats::HierarchyStats;
 use crate::timing::{ServiceLevel, TimingModel};
+// Keyed directory lookups only; never iterated on a simulation path (the
+// only iteration is the order-insensitive `assert_coherent` diagnostic).
 use std::collections::HashMap;
-
-/// L2 coherence state.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum L2State {
-    /// Modified: exclusive, possibly dirty; no LLC copy.
-    M,
-    /// Exclusive clean: filled from memory; no LLC copy.
-    E,
-    /// Shared clean: the LLC (may) hold a copy.
-    S,
-}
 
 #[derive(Clone, Copy, Debug)]
 struct L2Meta {
-    state: L2State,
+    /// Coherence state; resident entries are never `CacheState::I`.
+    state: CacheState,
     reuse: ReuseClass,
+}
+
+/// Looks the configuration up in the transition table. Reaching a
+/// configuration without a table entry means the protocol invariants were
+/// already broken; `check-protocol` proves the reachable space is fully
+/// covered, so the panic is a last-resort guard, not a control path.
+fn step_or_panic(requester: CacheState, others: OthersClass, req: ReqKind) -> Transition {
+    coherence::step(requester, others, req).unwrap_or_else(|| {
+        panic!("no coherence transition for ({requester:?}, {others:?}, {req:?})")
+    })
 }
 
 /// Private L1/L2 per core in front of a shared LLC implementation `L`,
@@ -187,6 +199,7 @@ impl<L: LlcPort, D: DataModel> Hierarchy<L, D> {
 
         let now = self.clocks[core] as u64;
         let (level, raw_latency) = self.serve(core, block, a.op, now);
+        // level_slot maps every ServiceLevel into 0..SERVICE_LEVELS.
         self.stats.services[HierarchyStats::level_slot(level)] += 1;
 
         let stall = self.timing.stall_cycles(a.op, f64::from(raw_latency));
@@ -214,18 +227,47 @@ impl<L: LlcPort, D: DataModel> Hierarchy<L, D> {
             return (ServiceLevel::L2, self.timing.latency(ServiceLevel::L2));
         }
 
-        // Coherence: does another private cache hold the block?
+        // Miss in the private levels: classify the rest of the system and
+        // let the transition table decide what happens.
         let remote_mask = self.directory.get(&block).copied().unwrap_or(0) & !(1u16 << core);
-        if remote_mask != 0 {
-            let level = self.serve_from_remote(core, block, op, remote_mask, now);
-            return (level, self.timing.latency(level));
-        }
-
-        // LLC request (fetch on write miss ⇒ stores issue GetX).
+        let others = self.classify_remotes(block, remote_mask);
         let req = if op == Op::Store {
-            LlcReq::GetX
+            ReqKind::Store
         } else {
-            LlcReq::GetS
+            ReqKind::Load
+        };
+        let t = step_or_panic(CacheState::I, others, req);
+        match t.serve {
+            ServeClass::Remote => {
+                let level = self.serve_from_remote(core, block, &t, remote_mask, now);
+                (level, self.timing.latency(level))
+            }
+            ServeClass::LlcOrMemory | ServeClass::Local | ServeClass::NoService => {
+                debug_assert_eq!(t.serve, ServeClass::LlcOrMemory);
+                self.serve_from_llc_or_memory(core, block, &t, now)
+            }
+        }
+    }
+
+    /// Executes an `LlcOrMemory` transition: probe the LLC, fall back to
+    /// main memory, fill the private levels in the table-decided state.
+    fn serve_from_llc_or_memory(
+        &mut self,
+        core: usize,
+        block: u64,
+        t: &Transition,
+        now: u64,
+    ) -> (ServiceLevel, u32) {
+        let req = match t.llc {
+            LlcOp::GetX => LlcReq::GetX,
+            LlcOp::GetS
+            | LlcOp::None
+            | LlcOp::WritebackDirty
+            | LlcOp::InsertClean
+            | LlcOp::InsertDirty => {
+                debug_assert_eq!(t.llc, LlcOp::GetS);
+                LlcReq::GetS
+            }
         };
         let resp = self.llc.request(now, block, req);
         let (level, latency, state, reuse) = if resp.hit {
@@ -235,65 +277,113 @@ impl<L: LlcPort, D: DataModel> Hierarchy<L, D> {
                 (true, true) => ServiceLevel::LlcNvmCompressed,
             };
             let latency = self.timing.latency(level) + resp.extra_cycles;
-            let state = if op == Op::Store {
-                L2State::M
-            } else {
-                L2State::S
-            };
-            (level, latency, state, resp.reuse)
+            (level, latency, t.next_on_hit, resp.reuse)
         } else {
             let latency = match &mut self.dram {
                 Some(dram) => dram.access(block, now),
                 None => self.timing.latency(ServiceLevel::Memory),
             };
-            let state = if op == Op::Store {
-                L2State::M
-            } else {
-                L2State::E
-            };
-            (ServiceLevel::Memory, latency, state, ReuseClass::None)
+            (
+                ServiceLevel::Memory,
+                latency,
+                t.next_on_miss,
+                ReuseClass::None,
+            )
         };
 
         self.fill_l2(core, block, state, reuse, now);
         self.fill_l1(core, block);
-        if op == Op::Store {
+        if t.dirty_fill {
             self.mark_dirty(core, block);
         }
         (level, latency)
     }
 
+    /// Summarizes the remote holders of `block` for the transition table:
+    /// a dirty owner wins, then an exclusive-clean owner, then sharers.
+    fn classify_remotes(&self, block: u64, remote_mask: u16) -> OthersClass {
+        if remote_mask == 0 {
+            return OthersClass::None;
+        }
+        let mut class = OthersClass::Sharers;
+        for other in 0..self.l2.len() {
+            if remote_mask & (1 << other) == 0 {
+                continue;
+            }
+            // other < l2.len() by the loop bound.
+            let Some(e) = self.l2[other].peek(block) else {
+                debug_assert!(false, "directory points at a core without the block");
+                continue;
+            };
+            match e.aux.state {
+                CacheState::M => return OthersClass::OwnerM,
+                CacheState::E => class = OthersClass::OwnerE,
+                CacheState::S | CacheState::I => {}
+            }
+        }
+        class
+    }
+
     /// Grants write permission for a block already held in L2: S requires a
     /// `GetX` through the LLC (invalidate-on-hit); E/M upgrade silently.
+    /// The table decides; this only executes the transition.
     fn ensure_writable(&mut self, core: usize, block: u64, now: u64) {
-        let entry = self.l2[core]
-            .lookup(block)
-            .expect("writable block must be in L2");
-        match entry.aux.state {
-            L2State::M => {}
-            L2State::E => entry.aux.state = L2State::M,
-            L2State::S => {
-                self.stats.upgrades += 1;
-                // Invalidate any remote shared copies first.
-                let remote_mask =
-                    self.directory.get(&block).copied().unwrap_or(0) & !(1u16 << core);
-                if remote_mask != 0 {
-                    self.invalidate_remote(core, block, remote_mask);
-                }
+        let Some(entry) = self.l2[core].lookup(block) else {
+            debug_assert!(false, "writable block must be in L2");
+            return;
+        };
+        let state = entry.aux.state;
+        // SWMR (proven by `check-protocol`) lets the owner states skip the
+        // directory probe: an E/M holder never has remote company.
+        let (others, remote_mask) = match state {
+            CacheState::M | CacheState::E => (OthersClass::None, 0),
+            CacheState::S | CacheState::I => {
+                let mask = self.directory.get(&block).copied().unwrap_or(0) & !(1u16 << core);
+                (self.classify_remotes(block, mask), mask)
+            }
+        };
+        let t = step_or_panic(state, others, ReqKind::Store);
+        if t.upgrade {
+            self.stats.upgrades += 1;
+        }
+        if t.remote == RemoteAction::Invalidate {
+            self.invalidate_remote(core, block, remote_mask);
+        }
+        match t.llc {
+            LlcOp::GetX => {
                 let resp = self.llc.request(now, block, LlcReq::GetX);
-                let entry = self.l2[core].lookup(block).unwrap();
-                entry.aux.state = L2State::M;
+                let Some(entry) = self.l2[core].lookup(block) else {
+                    debug_assert!(false, "upgraded block vanished from L2");
+                    return;
+                };
+                entry.aux.state = if resp.hit {
+                    t.next_on_hit
+                } else {
+                    t.next_on_miss
+                };
                 if resp.hit {
                     entry.aux.reuse = resp.reuse;
                 }
             }
+            LlcOp::None
+            | LlcOp::GetS
+            | LlcOp::WritebackDirty
+            | LlcOp::InsertClean
+            | LlcOp::InsertDirty => {
+                debug_assert_eq!(t.llc, LlcOp::None);
+                if let Some(entry) = self.l2[core].entry_mut(block) {
+                    entry.aux.state = t.next_on_hit;
+                }
+            }
         }
+        debug_assert!(t.dirty_fill, "store transitions always dirty the copy");
         self.mark_dirty(core, block);
     }
 
     fn mark_dirty(&mut self, core: usize, block: u64) {
         if let Some(e) = self.l2[core].lookup(block) {
             e.dirty = true;
-            debug_assert_eq!(e.aux.state, L2State::M, "dirty block must be in M");
+            debug_assert_eq!(e.aux.state, CacheState::M, "dirty block must be in M");
         }
     }
 
@@ -305,11 +395,20 @@ impl<L: LlcPort, D: DataModel> Hierarchy<L, D> {
 
     /// Fills L2 and routes the L2 victim (clean or dirty) into the LLC —
     /// the non-inclusive insertion path that generates all LLC write
-    /// traffic.
-    fn fill_l2(&mut self, core: usize, block: u64, state: L2State, reuse: ReuseClass, now: u64) {
+    /// traffic. The victim follows the table's `Evict` transitions
+    /// (requester → I, LLC insert, clean or dirty by coherence state);
+    /// those rows do not depend on the remote summary, so the hot path
+    /// skips re-classifying the victim block.
+    fn fill_l2(&mut self, core: usize, block: u64, state: CacheState, reuse: ReuseClass, now: u64) {
+        debug_assert_ne!(state, CacheState::I, "resident entries are never I");
         let victim = self.l2[core].insert(block, false, L2Meta { state, reuse });
         *self.directory.entry(block).or_insert(0) |= 1 << core;
         if let Some(v) = victim {
+            debug_assert_eq!(
+                v.dirty,
+                v.aux.state == CacheState::M,
+                "victim dirtiness must match its coherence state"
+            );
             // Inclusion: drop the L1 copy of the victim.
             let _ = self.l1[core].invalidate(v.block);
             self.directory_drop(core, v.block);
@@ -328,34 +427,40 @@ impl<L: LlcPort, D: DataModel> Hierarchy<L, D> {
         }
     }
 
-    /// Serves an L2 miss from a remote private cache (cache-to-cache).
+    /// Executes a `Remote` transition: serves an L2 miss from a remote
+    /// private cache (cache-to-cache).
     ///
-    /// * Loads: a remote modified/exclusive owner is downgraded to S; dirty
-    ///   data is written back into the LLC (which becomes the owner) as it
-    ///   is forwarded. The requester receives the block in S.
-    /// * Stores: every remote copy (L1 + L2) is invalidated; the requester
-    ///   receives the block in M. Any LLC copy is invalidated too (GetX).
+    /// * `Downgrade` (loads): every remote copy drops to S; a modified
+    ///   owner's dirty data is written back into the LLC (which becomes
+    ///   the owner) as it is forwarded. The requester receives S.
+    /// * `Invalidate` (stores): every remote copy (L1 + L2) is
+    ///   invalidated; the requester receives M. Any LLC copy is
+    ///   invalidated too (GetX).
     fn serve_from_remote(
         &mut self,
         core: usize,
         block: u64,
-        op: Op,
+        t: &Transition,
         remote_mask: u16,
         now: u64,
     ) -> ServiceLevel {
         let mut forwarded_reuse = ReuseClass::None;
-        if op == Op::Store {
+        if t.remote == RemoteAction::Invalidate {
             self.invalidate_remote(core, block, remote_mask);
             // The LLC may also hold a (clean) copy: invalidate-on-GetX.
+            debug_assert_eq!(t.llc, LlcOp::GetX);
             let resp = self.llc.request(now, block, LlcReq::GetX);
             if resp.hit {
                 forwarded_reuse = resp.reuse;
             }
-            self.fill_l2(core, block, L2State::M, forwarded_reuse, now);
+            self.fill_l2(core, block, t.next_on_hit, forwarded_reuse, now);
             self.fill_l1(core, block);
-            self.mark_dirty(core, block);
+            if t.dirty_fill {
+                self.mark_dirty(core, block);
+            }
         } else {
-            let mut writeback_dirty = false;
+            debug_assert_eq!(t.remote, RemoteAction::Downgrade);
+            let mut observed_dirty = false;
             for other in 0..self.l2.len() {
                 if remote_mask & (1 << other) == 0 {
                     continue;
@@ -365,18 +470,23 @@ impl<L: LlcPort, D: DataModel> Hierarchy<L, D> {
                     continue;
                 };
                 if entry.dirty {
-                    writeback_dirty = true;
+                    observed_dirty = true;
                 }
                 forwarded_reuse = entry.aux.reuse;
                 entry.dirty = false;
-                entry.aux.state = L2State::S;
+                entry.aux.state = CacheState::S;
             }
-            if writeback_dirty {
+            let writeback = t.llc == LlcOp::WritebackDirty;
+            debug_assert_eq!(
+                writeback, observed_dirty,
+                "table writeback decision must match the observed owner state"
+            );
+            if writeback {
                 // Ownership of the dirty data transfers to the LLC.
                 self.llc
                     .insert(now, block, true, forwarded_reuse, &mut self.data);
             }
-            self.fill_l2(core, block, L2State::S, forwarded_reuse, now);
+            self.fill_l2(core, block, t.next_on_hit, forwarded_reuse, now);
             self.fill_l1(core, block);
         }
         ServiceLevel::RemoteL2
@@ -417,11 +527,16 @@ impl<L: LlcPort, D: DataModel> Hierarchy<L, D> {
                 );
                 if let Some(e) = self.l2[core].peek(*block) {
                     holders += 1;
-                    if e.aux.state != L2State::S {
+                    assert_ne!(e.aux.state, CacheState::I, "resident block {block:#x} in I");
+                    if e.aux.state != CacheState::S {
                         exclusive = true;
                     }
                     if e.dirty {
-                        assert_eq!(e.aux.state, L2State::M, "dirty block {block:#x} not in M");
+                        assert_eq!(
+                            e.aux.state,
+                            CacheState::M,
+                            "dirty block {block:#x} not in M"
+                        );
                     }
                 }
             }

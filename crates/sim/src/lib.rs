@@ -32,6 +32,7 @@
 mod access;
 mod address;
 mod cache;
+pub mod coherence;
 mod config;
 mod data;
 mod dram;

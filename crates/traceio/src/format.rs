@@ -187,7 +187,7 @@ impl TraceHeader {
 }
 
 /// Frames `payload` as a chunk of `kind`: tag, length, payload, CRC.
-pub fn frame_chunk(kind: ChunkKind, payload: &[u8]) -> Vec<u8> {
+pub(crate) fn frame_chunk(kind: ChunkKind, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(payload.len() + 9);
     out.push(kind.tag());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -200,7 +200,7 @@ pub fn frame_chunk(kind: ChunkKind, payload: &[u8]) -> Vec<u8> {
 }
 
 /// Verifies a chunk's CRC given its tag and payload.
-pub fn chunk_crc(kind_tag: u8, payload: &[u8]) -> u32 {
+pub(crate) fn chunk_crc(kind_tag: u8, payload: &[u8]) -> u32 {
     let mut crc_input = Vec::with_capacity(payload.len() + 1);
     crc_input.push(kind_tag);
     crc_input.extend_from_slice(payload);
@@ -291,7 +291,7 @@ impl From<std::io::Error> for TraceError {
 
 /// Encodes a batch of data-model entries (shared by writer tests and the
 /// writer itself): count, then zigzag block deltas + size bytes.
-pub fn encode_data_entries(entries: &[(u64, u8)]) -> Vec<u8> {
+pub(crate) fn encode_data_entries(entries: &[(u64, u8)]) -> Vec<u8> {
     let mut p = Vec::with_capacity(entries.len() * 3 + 4);
     varint::write_u64(&mut p, entries.len() as u64);
     let mut prev = 0u64;

@@ -5,7 +5,7 @@
 //! delta fits in one or two bytes where the raw 64-bit address needs eight.
 
 /// Appends `v` to `buf` as an unsigned LEB128 varint (1–10 bytes).
-pub fn write_u64(buf: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn write_u64(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
@@ -19,7 +19,7 @@ pub fn write_u64(buf: &mut Vec<u8>, mut v: u64) {
 
 /// Reads a varint from `bytes` at `*pos`, advancing it. `None` on overrun
 /// or on a varint longer than 10 bytes (malformed).
-pub fn read_u64(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+pub(crate) fn read_u64(bytes: &[u8], pos: &mut usize) -> Option<u64> {
     let mut v = 0u64;
     for shift in 0..10 {
         let byte = *bytes.get(*pos)?;
@@ -33,12 +33,12 @@ pub fn read_u64(bytes: &[u8], pos: &mut usize) -> Option<u64> {
 }
 
 /// Maps a signed delta onto the unsigned varint space (0, -1, 1, -2, …).
-pub fn zigzag(v: i64) -> u64 {
+pub(crate) fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
 }
 
 /// Inverse of [`zigzag`].
-pub fn unzigzag(v: u64) -> i64 {
+pub(crate) fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 

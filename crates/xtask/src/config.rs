@@ -1,0 +1,313 @@
+//! Minimal TOML-subset parser for `xtask/lint.toml`.
+//!
+//! Supports exactly what the lint configuration needs — `[rules.<id>]`
+//! tables with string / string-array values, and `[[allow]]`
+//! array-of-tables entries — and rejects anything else loudly. No external
+//! parser: the workspace builds with no registry access.
+
+use std::collections::BTreeMap;
+
+/// Per-rule configuration.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct RuleConfig {
+    /// Workspace-relative path prefixes the rule applies to.
+    pub(crate) paths: Vec<String>,
+    /// Workspace-relative path prefixes excluded again from `paths`.
+    pub(crate) exclude: Vec<String>,
+    /// Enum names (for `exhaustive-match`).
+    pub(crate) enums: Vec<String>,
+    /// Banned substrings (for `banned-config-literals`).
+    pub(crate) patterns: Vec<String>,
+}
+
+/// One `[[allow]]` entry: a justified suppression.
+#[derive(Debug, Clone)]
+pub(crate) struct AllowEntry {
+    /// Rule id the entry suppresses.
+    pub(crate) rule: String,
+    /// Workspace-relative file path the entry applies to.
+    pub(crate) path: String,
+    /// Substring the offending source line must contain; empty matches any
+    /// finding of `rule` in `path`.
+    pub(crate) contains: String,
+    /// Why the finding is acceptable. Required: an allowlist entry without
+    /// a reason is itself a lint error.
+    pub(crate) reason: String,
+    /// 1-based line in lint.toml (for diagnostics).
+    pub(crate) line: u32,
+}
+
+/// The parsed lint configuration.
+#[derive(Debug, Default)]
+pub(crate) struct LintConfig {
+    /// Rule id → configuration.
+    pub(crate) rules: BTreeMap<String, RuleConfig>,
+    /// Justified suppressions.
+    pub(crate) allow: Vec<AllowEntry>,
+}
+
+/// A parse error with its lint.toml line.
+#[derive(Debug)]
+pub(crate) struct ConfigError {
+    /// 1-based line.
+    pub(crate) line: u32,
+    /// What went wrong.
+    pub(crate) message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+fn err(line: u32, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses one `"..."` string starting at `s[0]`; returns (value, rest).
+fn parse_string(s: &str, line: u32) -> Result<(String, &str), ConfigError> {
+    let mut out = String::new();
+    let mut chars = s.char_indices();
+    match chars.next() {
+        Some((_, '"')) => {}
+        _ => return Err(err(line, format!("expected a string, found `{s}`"))),
+    }
+    let mut escaped = false;
+    for (i, c) in chars {
+        if escaped {
+            out.push(match c {
+                'n' => '\n',
+                't' => '\t',
+                '\\' => '\\',
+                '"' => '"',
+                other => other,
+            });
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            return Ok((out, &s[i + 1..]));
+        } else {
+            out.push(c);
+        }
+    }
+    Err(err(line, "unterminated string"))
+}
+
+/// Parses a `[...]` array of strings (already joined to one line).
+fn parse_array(s: &str, line: u32) -> Result<Vec<String>, ConfigError> {
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|s| s.trim_end().strip_suffix(']'))
+        .ok_or_else(|| err(line, "expected `[ ... ]`"))?;
+    let mut out = Vec::new();
+    let mut rest = inner.trim_start();
+    while !rest.is_empty() {
+        let (value, after) = parse_string(rest, line)?;
+        out.push(value);
+        rest = after.trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+        } else if !rest.is_empty() {
+            return Err(err(line, format!("expected `,` or `]` near `{rest}`")));
+        }
+    }
+    Ok(out)
+}
+
+/// Strips a trailing `# comment` that is not inside a string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+        } else if in_string && c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            in_string = !in_string;
+        } else if c == '#' && !in_string {
+            return &line[..i];
+        }
+    }
+    line
+}
+
+enum Section {
+    None,
+    Rule(String),
+    Allow,
+}
+
+/// Parses the configuration text.
+pub(crate) fn parse(text: &str) -> Result<LintConfig, ConfigError> {
+    let mut cfg = LintConfig::default();
+    let mut section = Section::None;
+    let mut lines = text.lines().enumerate().peekable();
+
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = (idx + 1) as u32;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        if let Some(header) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+            if header.trim() != "allow" {
+                return Err(err(lineno, format!("unknown array-of-tables `{header}`")));
+            }
+            cfg.allow.push(AllowEntry {
+                rule: String::new(),
+                path: String::new(),
+                contains: String::new(),
+                reason: String::new(),
+                line: lineno,
+            });
+            section = Section::Allow;
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            let header = header.trim();
+            let Some(rule) = header.strip_prefix("rules.") else {
+                return Err(err(lineno, format!("unknown table `{header}`")));
+            };
+            cfg.rules.entry(rule.to_string()).or_default();
+            section = Section::Rule(rule.to_string());
+            continue;
+        }
+
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err(
+                lineno,
+                format!("expected `key = value`, found `{line}`"),
+            ));
+        };
+        let key = key.trim();
+        let mut value = value.trim().to_string();
+        // Multi-line arrays: join until the brackets balance (strings may
+        // not contain brackets in this config, which keeps this simple).
+        if value.starts_with('[') {
+            while value.matches('[').count() > value.matches(']').count() {
+                let Some((_, next)) = lines.next() else {
+                    return Err(err(lineno, "unterminated array"));
+                };
+                value.push(' ');
+                value.push_str(strip_comment(next).trim());
+            }
+        }
+
+        match &section {
+            Section::None => {
+                return Err(err(lineno, format!("key `{key}` outside any table")));
+            }
+            Section::Rule(rule) => {
+                let slot = cfg.rules.entry(rule.clone()).or_default();
+                let parsed = parse_array(&value, lineno)?;
+                match key {
+                    "paths" => slot.paths = parsed,
+                    "exclude" => slot.exclude = parsed,
+                    "enums" => slot.enums = parsed,
+                    "patterns" => slot.patterns = parsed,
+                    other => {
+                        return Err(err(lineno, format!("unknown rule key `{other}`")));
+                    }
+                }
+            }
+            Section::Allow => {
+                let (parsed, rest) = parse_string(&value, lineno)?;
+                if !rest.trim().is_empty() {
+                    return Err(err(lineno, format!("trailing input `{}`", rest.trim())));
+                }
+                let entry = cfg
+                    .allow
+                    .last_mut()
+                    .ok_or_else(|| err(lineno, "allow key before any [[allow]]"))?;
+                match key {
+                    "rule" => entry.rule = parsed,
+                    "path" => entry.path = parsed,
+                    "contains" => entry.contains = parsed,
+                    "reason" => entry.reason = parsed,
+                    other => {
+                        return Err(err(lineno, format!("unknown allow key `{other}`")));
+                    }
+                }
+            }
+        }
+    }
+
+    for entry in &cfg.allow {
+        if entry.rule.is_empty() || entry.path.is_empty() {
+            return Err(err(
+                entry.line,
+                "[[allow]] entries need both `rule` and `path`",
+            ));
+        }
+        if entry.reason.trim().is_empty() {
+            return Err(err(
+                entry.line,
+                format!(
+                    "allowlist entry for `{}` in `{}` has no `reason` — every \
+                     suppression must be justified",
+                    entry.rule, entry.path
+                ),
+            ));
+        }
+    }
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_rules_and_allow_entries() {
+        let cfg = parse(
+            r#"
+# comment
+[rules.no-panic-paths]
+paths = ["crates/core/src", "crates/sim/src"] # trailing comment
+exclude = []
+
+[rules.banned-config-literals]
+patterns = [
+    "scaled_down(",
+    "with_epoch_cycles(100_000)",
+]
+
+[[allow]]
+rule = "no-panic-paths"
+path = "crates/sim/src/hierarchy.rs"
+contains = "step_or_panic"
+reason = "protocol coverage proven by check-protocol"
+"#,
+        )
+        .expect("parses");
+        assert_eq!(cfg.rules["no-panic-paths"].paths.len(), 2);
+        assert_eq!(cfg.rules["banned-config-literals"].patterns.len(), 2);
+        assert_eq!(cfg.allow.len(), 1);
+        assert_eq!(cfg.allow[0].contains, "step_or_panic");
+    }
+
+    #[test]
+    fn rejects_a_reasonless_allow_entry() {
+        let e = parse("[[allow]]\nrule = \"x\"\npath = \"y\"\n").expect_err("must fail");
+        assert!(e.message.contains("reason"));
+    }
+
+    #[test]
+    fn rejects_unknown_keys() {
+        assert!(parse("[rules.x]\nbogus = [\"a\"]\n").is_err());
+        assert!(parse("stray = \"value\"\n").is_err());
+    }
+
+    #[test]
+    fn hash_inside_strings_is_not_a_comment() {
+        let cfg = parse("[rules.x]\npatterns = [\"a#b\"]\n").expect("parses");
+        assert_eq!(cfg.rules["x"].patterns, ["a#b"]);
+    }
+}

@@ -1,0 +1,513 @@
+//! A lightweight Rust tokenizer — just enough fidelity for the lint
+//! rules: identifiers, punctuation (with the handful of two-character
+//! operators the rules care about), string/char/lifetime literals, and
+//! numbers with float detection. Comments are skipped but their line
+//! numbers are recorded so rules can require "a comment nearby".
+//!
+//! This is deliberately not a full lexer: it never fails, and on input it
+//! does not understand it degrades to single-character punctuation, which
+//! at worst makes a rule miss a match — never crash.
+
+/// Token classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Punctuation (single char, or one of `::`, `=>`, `->`, `..`, `..=`).
+    Punct,
+    /// Number literal.
+    Num {
+        /// True for floating-point literals (`1.5`, `2e5`, `1f64`).
+        float: bool,
+    },
+    /// String literal (cooked, raw, or byte).
+    Str,
+    /// Character literal.
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One lexed token with its source line (1-based).
+#[derive(Clone, Debug)]
+pub(crate) struct Token {
+    /// Classification.
+    pub(crate) kind: TokKind,
+    /// Source text (identifiers and punctuation verbatim; literals may be
+    /// abbreviated).
+    pub(crate) text: String,
+    /// 1-based source line.
+    pub(crate) line: u32,
+}
+
+impl Token {
+    /// True if the token is an identifier with exactly this text.
+    pub(crate) fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// True if the token is punctuation with exactly this text.
+    pub(crate) fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == text
+    }
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub(crate) struct Lexed {
+    /// The token stream, comments and whitespace removed.
+    pub(crate) tokens: Vec<Token>,
+    /// Lines (1-based) that contain or are spanned by a comment.
+    pub(crate) comment_lines: Vec<u32>,
+}
+
+impl Lexed {
+    /// True if `line` contains (part of) a comment.
+    pub(crate) fn has_comment(&self, line: u32) -> bool {
+        self.comment_lines.binary_search(&line).is_ok()
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into a token stream. Never fails.
+pub(crate) fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut tokens = Vec::new();
+    let mut comment_lines = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let push = |tokens: &mut Vec<Token>, kind: TokKind, text: String, line: u32| {
+        tokens.push(Token { kind, text, line });
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Line comment (incl. doc comments).
+        if c == '/' && next == Some('/') {
+            comment_lines.push(line);
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+
+        // Block comment (nested).
+        if c == '/' && next == Some('*') {
+            comment_lines.push(line);
+            let mut depth = 1;
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '\n' {
+                    line += 1;
+                    comment_lines.push(line);
+                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 1;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 1;
+                }
+                i += 1;
+            }
+            continue;
+        }
+
+        // Raw / byte string prefixes: r", r#…", b", br", br#…".
+        if (c == 'r' || c == 'b') && matches!(next, Some('"') | Some('#') | Some('r')) {
+            let mut j = i + 1;
+            if c == 'b' && chars.get(j) == Some(&'r') {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if chars.get(j) == Some(&'"')
+                && (c != 'b' || hashes > 0 || chars.get(i + 1) != Some(&'\''))
+            {
+                // Raw string: scan to `"` followed by `hashes` hashes.
+                // (For `r"…"` and `b"…"` hashes is 0 and escapes are only
+                // meaningful in the cooked-byte case, which the cooked
+                // loop below handles identically well for our purposes.)
+                let start_line = line;
+                let raw = hashes > 0 || c == 'r';
+                j += 1;
+                if raw {
+                    loop {
+                        match chars.get(j) {
+                            None => break,
+                            Some('\n') => {
+                                line += 1;
+                                j += 1;
+                            }
+                            Some('"') => {
+                                let mut k = 0;
+                                while k < hashes && chars.get(j + 1 + k) == Some(&'#') {
+                                    k += 1;
+                                }
+                                j += 1 + k;
+                                if k == hashes {
+                                    break;
+                                }
+                            }
+                            Some(_) => j += 1,
+                        }
+                    }
+                } else {
+                    // Cooked byte string.
+                    loop {
+                        match chars.get(j) {
+                            None => break,
+                            Some('\\') => j += 2,
+                            Some('\n') => {
+                                line += 1;
+                                j += 1;
+                            }
+                            Some('"') => {
+                                j += 1;
+                                break;
+                            }
+                            Some(_) => j += 1,
+                        }
+                    }
+                }
+                push(&mut tokens, TokKind::Str, String::new(), start_line);
+                i = j;
+                continue;
+            }
+            // Fall through to ident lexing (`r` / `b` as identifier start).
+        }
+
+        if is_ident_start(c) {
+            let start = i;
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            push(&mut tokens, TokKind::Ident, text, line);
+            continue;
+        }
+
+        // Cooked string.
+        if c == '"' {
+            let start_line = line;
+            i += 1;
+            loop {
+                match chars.get(i) {
+                    None => break,
+                    Some('\\') => i += 2,
+                    Some('\n') => {
+                        line += 1;
+                        i += 1;
+                    }
+                    Some('"') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(_) => i += 1,
+                }
+            }
+            push(&mut tokens, TokKind::Str, String::new(), start_line);
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if next == Some('\\') {
+                // Escaped char literal: '\n', '\u{..}', …
+                i += 2;
+                while i < chars.len() && chars[i] != '\'' {
+                    i += 1;
+                }
+                i += 1;
+                push(&mut tokens, TokKind::Char, String::new(), line);
+                continue;
+            }
+            if next.is_some_and(is_ident_start) {
+                // `'a'` is a char literal, `'a` (no closing quote) a
+                // lifetime.
+                let mut j = i + 1;
+                while j < chars.len() && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                if chars.get(j) == Some(&'\'') {
+                    push(&mut tokens, TokKind::Char, String::new(), line);
+                    i = j + 1;
+                } else {
+                    let text: String = chars[i + 1..j].iter().collect();
+                    push(&mut tokens, TokKind::Lifetime, text, line);
+                    i = j;
+                }
+                continue;
+            }
+            // `'('` style char literal.
+            if chars.get(i + 2) == Some(&'\'') {
+                push(&mut tokens, TokKind::Char, String::new(), line);
+                i += 3;
+                continue;
+            }
+            push(&mut tokens, TokKind::Punct, "'".into(), line);
+            i += 1;
+            continue;
+        }
+
+        // Number literal.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut float = false;
+            // 0x / 0b / 0o prefixes: plain digit run.
+            if c == '0' && matches!(next, Some('x') | Some('b') | Some('o')) {
+                i += 2;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+            } else {
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                    i += 1;
+                }
+                // Fractional part (but not `..` ranges or method calls
+                // like `1.max(..)`).
+                if chars.get(i) == Some(&'.')
+                    && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    float = true;
+                    i += 1;
+                    while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                        i += 1;
+                    }
+                }
+                // `1.` with nothing after (rare but legal).
+                if !float
+                    && chars.get(i) == Some(&'.')
+                    && chars.get(i + 1) != Some(&'.')
+                    && !chars.get(i + 1).copied().is_some_and(is_ident_start)
+                {
+                    float = true;
+                    i += 1;
+                }
+                // Exponent.
+                if matches!(chars.get(i), Some('e') | Some('E')) {
+                    let mut j = i + 1;
+                    if matches!(chars.get(j), Some('+') | Some('-')) {
+                        j += 1;
+                    }
+                    if chars.get(j).is_some_and(|d| d.is_ascii_digit()) {
+                        float = true;
+                        i = j;
+                        while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                            i += 1;
+                        }
+                    }
+                }
+                // Suffix (`u32`, `f64`, …).
+                if chars.get(i).copied().is_some_and(is_ident_start) {
+                    let suffix_start = i;
+                    while i < chars.len() && is_ident_continue(chars[i]) {
+                        i += 1;
+                    }
+                    let suffix: String = chars[suffix_start..i].iter().collect();
+                    if suffix == "f32" || suffix == "f64" {
+                        float = true;
+                    }
+                }
+            }
+            let text: String = chars[start..i].iter().collect();
+            push(&mut tokens, TokKind::Num { float }, text, line);
+            continue;
+        }
+
+        // Two-character punctuation the rules need as units.
+        let two: String = chars[i..(i + 2).min(chars.len())].iter().collect();
+        if two == "::" || two == "=>" || two == "->" {
+            push(&mut tokens, TokKind::Punct, two, line);
+            i += 2;
+            continue;
+        }
+        if two == ".." {
+            let three = chars.get(i + 2) == Some(&'=');
+            let text = if three { "..=" } else { ".." };
+            push(&mut tokens, TokKind::Punct, text.into(), line);
+            i += if three { 3 } else { 2 };
+            continue;
+        }
+
+        push(&mut tokens, TokKind::Punct, c.to_string(), line);
+        i += 1;
+    }
+
+    comment_lines.dedup();
+    Lexed {
+        tokens,
+        comment_lines,
+    }
+}
+
+/// Token-index spans `[start, end)` of `#[cfg(test)] mod … { … }` bodies.
+/// Rules skip findings inside them: test code may unwrap and iterate
+/// freely.
+pub(crate) fn test_mod_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i + 6 < tokens.len() {
+        let is_cfg_test = tokens[i].is_punct("#")
+            && tokens[i + 1].is_punct("[")
+            && tokens[i + 2].is_ident("cfg")
+            && tokens[i + 3].is_punct("(")
+            && tokens[i + 4].is_ident("test")
+            && tokens[i + 5].is_punct(")")
+            && tokens[i + 6].is_punct("]");
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Skip any further attributes, then expect `mod name {`.
+        let mut j = i + 7;
+        while j < tokens.len() && tokens[j].is_punct("#") {
+            // Skip the bracketed attribute.
+            let mut depth = 0;
+            j += 1;
+            while j < tokens.len() {
+                if tokens[j].is_punct("[") {
+                    depth += 1;
+                } else if tokens[j].is_punct("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        if j < tokens.len() && tokens[j].is_ident("mod") {
+            // Find the opening brace, then the matching close.
+            while j < tokens.len() && !tokens[j].is_punct("{") {
+                j += 1;
+            }
+            let start = j;
+            let mut depth = 0;
+            while j < tokens.len() {
+                if tokens[j].is_punct("{") {
+                    depth += 1;
+                } else if tokens[j].is_punct("}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            spans.push((start, j));
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// True if token index `idx` falls inside any of `spans`.
+pub(crate) fn in_spans(spans: &[(usize, usize)], idx: usize) -> bool {
+    spans.iter().any(|&(s, e)| idx >= s && idx < e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let l = lex("fn main() {\n    x.unwrap();\n}\n");
+        let texts: Vec<&str> = l.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["fn", "main", "(", ")", "{", "x", ".", "unwrap", "(", ")", ";", "}"]
+        );
+        assert_eq!(l.tokens[7].line, 2);
+    }
+
+    #[test]
+    fn comments_are_recorded_not_tokenized() {
+        let l = lex("a // c\nb /* d\ne */ f\n");
+        let texts: Vec<&str> = l.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["a", "b", "f"]);
+        assert!(l.has_comment(1) && l.has_comment(2) && l.has_comment(3));
+    }
+
+    #[test]
+    fn strings_and_chars_and_lifetimes() {
+        let l = lex(r##"let s = "x.unwrap()"; let c = 'a'; fn f<'a>() {} let r = r#"raw"#;"##);
+        assert!(!l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "unwrap"));
+        assert!(l.tokens.iter().any(|t| t.kind == TokKind::Char));
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+    }
+
+    #[test]
+    fn float_detection() {
+        for (src, expect) in [
+            ("1.5", true),
+            ("2e5", true),
+            ("1f64", true),
+            ("3.0f32", true),
+            ("42", false),
+            ("0x1f", false),
+            ("1..4", false),
+            ("100_000", false),
+        ] {
+            let l = lex(src);
+            let float = l
+                .tokens
+                .iter()
+                .any(|t| matches!(t.kind, TokKind::Num { float: true }));
+            assert_eq!(float, expect, "{src}");
+            let _ = l;
+        }
+    }
+
+    #[test]
+    fn test_mod_spans_cover_test_code() {
+        let src =
+            "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn b() { y.unwrap(); }\n}\n";
+        let l = lex(src);
+        let spans = test_mod_spans(&l.tokens);
+        assert_eq!(spans.len(), 1);
+        let unwraps: Vec<usize> = l
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("unwrap"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!in_spans(&spans, unwraps[0]));
+        assert!(in_spans(&spans, unwraps[1]));
+    }
+}
